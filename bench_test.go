@@ -1,0 +1,249 @@
+package insidedropbox
+
+// The benchmark harness regenerates every table and figure of the paper
+// (one Benchmark per experiment) and reports the experiment's headline
+// metric via b.ReportMetric, so `go test -bench=.` doubles as the
+// reproduction run. Ablation benchmarks exercise the design choices called
+// out in DESIGN.md: chunk bundling, the server initial window, data-center
+// distance, delta encoding and LAN sync.
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"insidedropbox/internal/chunker"
+	"insidedropbox/internal/classify"
+	"insidedropbox/internal/deltasync"
+	"insidedropbox/internal/dropbox"
+	"insidedropbox/internal/experiments"
+	"insidedropbox/internal/flowmodel"
+	"insidedropbox/internal/simrand"
+)
+
+var (
+	benchOnce sync.Once
+	benchCamp *experiments.Campaign
+)
+
+func benchCampaign(b *testing.B) *experiments.Campaign {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchCamp = experiments.RunCampaign(2012, experiments.SmallScale())
+	})
+	return benchCamp
+}
+
+// runExperiment benchmarks one campaign-level experiment and reports the
+// chosen metric.
+func runExperiment(b *testing.B, fn func(*experiments.Campaign) *experiments.Result, metric string) {
+	c := benchCampaign(b)
+	b.ResetTimer()
+	var r *experiments.Result
+	for i := 0; i < b.N; i++ {
+		r = fn(c)
+	}
+	if v, ok := r.Metrics[metric]; ok {
+		b.ReportMetric(v, metricUnit(metric))
+	}
+}
+
+// metricUnit sanitizes a metric name into a ReportMetric-safe unit.
+func metricUnit(name string) string {
+	out := make([]byte, 0, len(name))
+	for i := 0; i < len(name); i++ {
+		switch c := name[i]; {
+		case c == ' ' || c == '(' || c == ')':
+			// drop
+		default:
+			out = append(out, c)
+		}
+	}
+	return string(out)
+}
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Table1()
+		if r.Text == "" {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) { runExperiment(b, experiments.Table2, "gb_home1") }
+func BenchmarkTable3(b *testing.B) { runExperiment(b, experiments.Table3, "devices_total") }
+
+func BenchmarkTable4(b *testing.B) {
+	var r *experiments.Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Table4(77, 0.25)
+	}
+	b.ReportMetric(r.Metrics["after_avg_tp_retrieve"]/r.Metrics["before_avg_tp_retrieve"],
+		"retrieve_tp_gain")
+}
+
+func BenchmarkTable5(b *testing.B) { runExperiment(b, experiments.Table5, "home1_Heavy_addr") }
+
+func BenchmarkFigure1(b *testing.B) {
+	var tb *experiments.TestbedResult
+	for i := 0; i < b.N; i++ {
+		tb = experiments.RunTestbed(int64(i) + 1)
+	}
+	b.ReportMetric(tb.Figure1.Metrics["messages"], "messages")
+}
+
+func BenchmarkFigure2(b *testing.B) { runExperiment(b, experiments.Figure2, "gdrive_first_day") }
+func BenchmarkFigure3(b *testing.B) { runExperiment(b, experiments.Figure3, "ratio") }
+func BenchmarkFigure4(b *testing.B) {
+	runExperiment(b, experiments.Figure4, "bytes_home1_Client (storage)")
+}
+func BenchmarkFigure5(b *testing.B)  { runExperiment(b, experiments.Figure5, "avg_servers_home1") }
+func BenchmarkFigure6(b *testing.B)  { runExperiment(b, experiments.Figure6, "storage_median_campus1") }
+func BenchmarkFigure7(b *testing.B)  { runExperiment(b, experiments.Figure7, "store_le100k_home1") }
+func BenchmarkFigure8(b *testing.B)  { runExperiment(b, experiments.Figure8, "store_le10_home1") }
+func BenchmarkFigure11(b *testing.B) { runExperiment(b, experiments.Figure11, "dl_ul_ratio_home1") }
+func BenchmarkFigure12(b *testing.B) { runExperiment(b, experiments.Figure12, "frac1_home1") }
+func BenchmarkFigure13(b *testing.B) { runExperiment(b, experiments.Figure13, "frac_ge5_campus1") }
+func BenchmarkFigure14(b *testing.B) { runExperiment(b, experiments.Figure14, "avg_frac_home1") }
+func BenchmarkFigure15(b *testing.B) {
+	runExperiment(b, experiments.Figure15, "startup_peak_hour_home1")
+}
+func BenchmarkFigure16(b *testing.B) { runExperiment(b, experiments.Figure16, "sub_minute_home1") }
+func BenchmarkFigure17(b *testing.B) { runExperiment(b, experiments.Figure17, "up_le10k_home1") }
+func BenchmarkFigure18(b *testing.B) { runExperiment(b, experiments.Figure18, "gt10M_home1") }
+func BenchmarkFigure20(b *testing.B) { runExperiment(b, experiments.Figure20, "retrieve_flows") }
+func BenchmarkFigure21(b *testing.B) { runExperiment(b, experiments.Figure21, "store_median_home1") }
+
+func BenchmarkFigure9And10(b *testing.B) {
+	var fig9 *experiments.Result
+	for i := 0; i < b.N; i++ {
+		store := experiments.QuickPacketLab(false)
+		retr := experiments.QuickPacketLab(true)
+		store.Seed = int64(i) + 1
+		retr.Seed = int64(i) + 1001
+		fig9, _ = experiments.RunPacketLabs(store, retr)
+	}
+	b.ReportMetric(fig9.Metrics["avg_tp_store"], "avg_store_bps")
+	b.ReportMetric(fig9.Metrics["avg_tp_retrieve"], "avg_retrieve_bps")
+}
+
+func BenchmarkFigure19(b *testing.B) {
+	var tb *experiments.TestbedResult
+	for i := 0; i < b.N; i++ {
+		tb = experiments.RunTestbed(int64(i) + 50)
+	}
+	b.ReportMetric(tb.Figure19.Metrics["captured_packets"], "packets")
+}
+
+// ---------- ablations ----------
+
+// BenchmarkAblationBundling sweeps the per-chunk acknowledgment penalty:
+// the same 2 MB payload as 1..64 chunks, v1.2.52 versus v1.4.0.
+func BenchmarkAblationBundling(b *testing.B) {
+	rng := simrand.New(1, "ablate")
+	rtt := 90 * time.Millisecond
+	var last float64
+	for i := 0; i < b.N; i++ {
+		for _, chunks := range []int{1, 4, 16, 64} {
+			wires := make([]int, chunks)
+			for j := range wires {
+				wires[j] = 2 << 20 / chunks
+			}
+			for _, v := range []dropbox.Version{dropbox.V1252, dropbox.V140} {
+				p := flowmodel.DefaultParams(rtt)
+				p.Version = v
+				rec := flowmodel.Synthesize(rng, p, flowmodel.StorageFlowSpec{
+					Dir: classify.DirStore, ChunkWires: wires,
+				})
+				last = classify.TransferDuration(rec, classify.DirStore).Seconds()
+			}
+		}
+	}
+	b.ReportMetric(last, "last_dur_s")
+}
+
+// BenchmarkAblationIW sweeps the server initial window: the handshake RTT
+// penalty the paper saw fixed after 1.4.0.
+func BenchmarkAblationIW(b *testing.B) {
+	rng := simrand.New(2, "ablate")
+	var dur2, dur3 float64
+	for i := 0; i < b.N; i++ {
+		for _, iw := range []int{2, 3, 10} {
+			p := flowmodel.DefaultParams(90 * time.Millisecond)
+			p.IW = iw
+			rec := flowmodel.Synthesize(rng, p, flowmodel.StorageFlowSpec{
+				Dir: classify.DirStore, ChunkWires: []int{50 << 10},
+			})
+			d := classify.TransferDuration(rec, classify.DirStore).Seconds()
+			switch iw {
+			case 2:
+				dur2 = d
+			case 3:
+				dur3 = d
+			}
+		}
+	}
+	b.ReportMetric(dur2-dur3, "iw2_extra_s")
+}
+
+// BenchmarkAblationRTT sweeps the client/data-center distance: the paper's
+// "bring storage servers closer" recommendation.
+func BenchmarkAblationRTT(b *testing.B) {
+	rng := simrand.New(3, "ablate")
+	var near, far float64
+	for i := 0; i < b.N; i++ {
+		for _, rtt := range []time.Duration{10 * time.Millisecond, 90 * time.Millisecond} {
+			p := flowmodel.DefaultParams(rtt)
+			wires := make([]int, 20)
+			for j := range wires {
+				wires[j] = 100 << 10
+			}
+			rec := flowmodel.Synthesize(rng, p, flowmodel.StorageFlowSpec{
+				Dir: classify.DirStore, ChunkWires: wires,
+			})
+			tp := classify.Throughput(rec, classify.DirStore)
+			if rtt == 10*time.Millisecond {
+				near = tp
+			} else {
+				far = tp
+			}
+		}
+	}
+	b.ReportMetric(near/far, "near_far_speedup")
+}
+
+// BenchmarkAblationDelta measures delta encoding's traffic reduction on an
+// edited 1 MB file (Sec. 2.1's librsync mechanism).
+func BenchmarkAblationDelta(b *testing.B) {
+	base := chunker.SyntheticFile{Seed: 5, Size: 1 << 20}.Generate()
+	target := append([]byte(nil), base...)
+	for i := 0; i < 20; i++ {
+		target[i*50_000] ^= 0xAA
+	}
+	sig := deltasync.NewSignature(base, 0)
+	b.SetBytes(1 << 20)
+	b.ResetTimer()
+	var saved float64
+	for i := 0; i < b.N; i++ {
+		d := deltasync.GenerateDelta(sig, target)
+		saved = 1 - float64(d.WireSize())/float64(len(target))
+	}
+	b.ReportMetric(100*saved, "saved_%")
+}
+
+// BenchmarkCampaignGeneration measures the flow-level fast path end to end.
+func BenchmarkCampaignGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := experiments.RunCampaign(int64(i), experiments.ScaleConfig{
+			Campus1: 0.25, Campus2: 0.05, Home1: 0.015, Home2: 0.015,
+		})
+		total := 0
+		for _, ds := range c.Datasets {
+			total += len(ds.Records)
+		}
+		if total == 0 {
+			b.Fatal("empty campaign")
+		}
+	}
+}

@@ -1,0 +1,59 @@
+// Command dropsim generates one vantage point's 42-day flow-record dataset
+// and writes it as anonymized CSV (the format of the paper's public trace
+// release).
+//
+// Usage:
+//
+//	dropsim [-vp campus1|campus2|home1|home2] [-scale F] [-seed N] [-o FILE]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"insidedropbox"
+)
+
+func main() {
+	vp := flag.String("vp", "home1", "vantage point: campus1, campus2, home1, home2")
+	scale := flag.Float64("scale", 0.05, "population scale versus the paper")
+	seed := flag.Int64("seed", 42, "random seed")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	var cfg insidedropbox.VPConfig
+	switch *vp {
+	case "campus1":
+		cfg = insidedropbox.Campus1(*scale)
+	case "campus1-junjul":
+		cfg = insidedropbox.Campus1JunJul(*scale)
+	case "campus2":
+		cfg = insidedropbox.Campus2(*scale)
+	case "home1":
+		cfg = insidedropbox.Home1(*scale)
+	case "home2":
+		cfg = insidedropbox.Home2(*scale)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown vantage point %q\n", *vp)
+		os.Exit(2)
+	}
+
+	ds := insidedropbox.GenerateDataset(cfg, *seed)
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := insidedropbox.SaveTraces(ds, w); err != nil {
+		fmt.Fprintln(os.Stderr, "writing traces:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "%s: %d flow records, %d Dropbox devices, %.2f GB total\n",
+		cfg.Name, len(ds.Records), ds.DropboxDevices, ds.TotalVolume()/1e9)
+}

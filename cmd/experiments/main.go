@@ -1,0 +1,64 @@
+// Command experiments regenerates every table and figure of the paper and
+// writes them to a results directory.
+//
+// Usage:
+//
+//	experiments [-seed N] [-out DIR] [-quick] [-skip-packet]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"insidedropbox"
+)
+
+func main() {
+	seed := flag.Int64("seed", 2012, "campaign random seed")
+	out := flag.String("out", "results", "output directory")
+	quick := flag.Bool("quick", false, "small populations and packet labs")
+	skipPacket := flag.Bool("skip-packet", false, "skip the packet-level labs (Figs. 1, 9, 10, 19)")
+	flag.Parse()
+
+	start := time.Now()
+	scale := insidedropbox.DefaultScale()
+	if *quick {
+		scale = insidedropbox.SmallScale()
+	}
+	fmt.Printf("generating 42-day campaign (seed %d)...\n", *seed)
+	camp := insidedropbox.RunCampaign(*seed, scale)
+	for _, ds := range camp.Datasets {
+		fmt.Printf("  %-16s %6d IPs  %8d flows  %7.2f GB (scale %.2f)\n",
+			ds.Cfg.Name, ds.Cfg.TotalIPs, len(ds.Records), ds.TotalVolume()/1e9, ds.Cfg.Scale)
+	}
+
+	results := insidedropbox.AllExperiments(camp)
+
+	fmt.Println("running Table 4 (bundling before/after)...")
+	t4scale := 1.0
+	if *quick {
+		t4scale = 0.4
+	}
+	results = append(results, insidedropbox.Table4(*seed, t4scale))
+
+	if !*skipPacket {
+		fmt.Println("running packet-level performance labs (Figs. 9, 10)...")
+		fig9, fig10 := insidedropbox.PerformanceLab(*quick)
+		results = append(results, fig9, fig10)
+
+		fmt.Println("running protocol testbed (Figs. 1, 19)...")
+		fig1, fig19 := insidedropbox.Testbed(*seed)
+		results = append(results, fig1, fig19)
+	}
+
+	if err := insidedropbox.WriteResults(*out, results); err != nil {
+		fmt.Fprintln(os.Stderr, "writing results:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d experiments to %s/ in %v\n", len(results), *out, time.Since(start).Round(time.Millisecond))
+	for _, r := range results {
+		fmt.Printf("  %-10s %s\n", r.ID, r.Title)
+	}
+}

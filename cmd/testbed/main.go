@@ -1,0 +1,32 @@
+// Command testbed runs the decrypting-proxy-equivalent protocol dissection
+// of Sec. 2.2: a real client session against the full simulated service,
+// with the control/storage message sequence (Fig. 1) and annotated packet
+// traces of the storage flows (Fig. 19).
+//
+// Usage:
+//
+//	testbed [-seed N] [-fig19]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"insidedropbox"
+)
+
+func main() {
+	seed := flag.Int64("seed", 7, "random seed")
+	onlyFig19 := flag.Bool("fig19", false, "print only the packet traces")
+	flag.Parse()
+
+	fig1, fig19 := insidedropbox.Testbed(*seed)
+	if !*onlyFig19 {
+		fmt.Println(fig1.Title)
+		fmt.Println()
+		fmt.Println(fig1.Text)
+	}
+	fmt.Println(fig19.Title)
+	fmt.Println()
+	fmt.Println(fig19.Text)
+}

@@ -1,0 +1,22 @@
+// Protocol dissection: the paper's Sec. 2.2 testbed — run a real client
+// session against the simulated service and observe the decrypted protocol
+// message sequence (Fig. 1) plus the packet-level anatomy of storage flows
+// (Fig. 19).
+package main
+
+import (
+	"fmt"
+
+	"insidedropbox"
+)
+
+func main() {
+	fig1, fig19 := insidedropbox.Testbed(2012)
+
+	fmt.Println("=== The Dropbox protocol, as seen by the testbed ===")
+	fmt.Println()
+	fmt.Println(fig1.Text)
+	fmt.Println("=== Packet-level anatomy of storage flows ===")
+	fmt.Println()
+	fmt.Println(fig19.Text)
+}

@@ -1,0 +1,30 @@
+// Quickstart: generate a small measurement campaign and print the headline
+// characterization — the fastest way to see the library end to end.
+package main
+
+import (
+	"fmt"
+
+	"insidedropbox"
+)
+
+func main() {
+	// A campaign generates 42 days of traffic at four vantage points and
+	// runs it through the passive-measurement methodology of the paper.
+	camp := insidedropbox.RunCampaign(1, insidedropbox.SmallScale())
+
+	for _, ds := range camp.Datasets {
+		fmt.Printf("%-10s %5d IPs, %6d flows, %6.2f GB total, %d Dropbox devices\n",
+			ds.Cfg.Name, ds.Cfg.TotalIPs, len(ds.Records),
+			ds.TotalVolume()/1e9, ds.DropboxDevices)
+	}
+	fmt.Println()
+
+	// Regenerate a couple of the paper's results.
+	for _, r := range insidedropbox.AllExperiments(camp) {
+		switch r.ID {
+		case "table3", "figure6":
+			fmt.Println(r.Text)
+		}
+	}
+}

@@ -1,0 +1,22 @@
+// User behavior: reproduce the home-network workload characterization —
+// the four user groups of Table 5 (occasional / upload-only /
+// download-only / heavy), the per-household volume scatter of Fig. 11, and
+// the device counts of Fig. 12.
+package main
+
+import (
+	"fmt"
+
+	"insidedropbox"
+)
+
+func main() {
+	camp := insidedropbox.RunCampaign(3, insidedropbox.SmallScale())
+	for _, r := range insidedropbox.AllExperiments(camp) {
+		switch r.ID {
+		case "table5", "figure11", "figure12":
+			fmt.Println(r.Text)
+			fmt.Println()
+		}
+	}
+}

@@ -1,0 +1,161 @@
+// Package insidedropbox reproduces the measurement study "Inside Dropbox:
+// Understanding Personal Cloud Storage Services" (Drago, Mellia, Munafò,
+// Sperotto, Sadre, Pras — ACM IMC 2012) as a self-contained simulation and
+// analysis laboratory.
+//
+// The package is a facade over the internal subsystems:
+//
+//   - a discrete-event network substrate (TCP with slow start and loss
+//     recovery, a TLS-like record layer, DNS with the Table 1 name space);
+//   - a from-scratch implementation of the 2012 Dropbox protocol — the
+//     meta-data control plane, notification long-polling, Amazon-style
+//     storage servers with per-chunk sequential acknowledgments, and the
+//     v1.4.0 bundling the paper evaluates;
+//   - a Tstat-like passive probe performing flow reassembly, RTT
+//     estimation, PSH accounting and TLS/DNS/notification DPI;
+//   - the paper's analysis methodology (f(u) tagging, chunk estimation,
+//     session reconstruction, user grouping); and
+//   - calibrated workload generators standing in for the four European
+//     vantage points of the study.
+//
+// Every table and figure of the paper regenerates through this API; see
+// cmd/experiments for the batch driver and EXPERIMENTS.md for the
+// paper-versus-measured record.
+package insidedropbox
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"insidedropbox/internal/experiments"
+	"insidedropbox/internal/traces"
+	"insidedropbox/internal/workload"
+)
+
+// Campaign is a generated four-vantage-point dataset collection.
+type Campaign = experiments.Campaign
+
+// Result is one regenerated table or figure.
+type Result = experiments.Result
+
+// ScaleConfig controls population downscaling per vantage point.
+type ScaleConfig = experiments.ScaleConfig
+
+// Dataset is one vantage point's generated flow records.
+type Dataset = workload.Dataset
+
+// VPConfig parameterizes a vantage point population.
+type VPConfig = workload.VPConfig
+
+// DefaultScale returns the standard laptop-sized population scaling.
+func DefaultScale() ScaleConfig { return experiments.DefaultScale() }
+
+// SmallScale returns a fast, test-sized scaling.
+func SmallScale() ScaleConfig { return experiments.SmallScale() }
+
+// RunCampaign generates the four vantage-point datasets (Campus 1/2,
+// Home 1/2) for the 42-day observation window.
+func RunCampaign(seed int64, scale ScaleConfig) *Campaign {
+	return experiments.RunCampaign(seed, scale)
+}
+
+// Vantage point constructors, exposed for custom campaigns.
+var (
+	Campus1 = workload.Campus1
+	Campus2 = workload.Campus2
+	Home1   = workload.Home1
+	Home2   = workload.Home2
+	// Campus1JunJul is the post-bundling second dataset of Table 4.
+	Campus1JunJul = workload.Campus1JunJul
+)
+
+// GenerateDataset runs the workload generator for one vantage point.
+func GenerateDataset(cfg VPConfig, seed int64) *Dataset {
+	return workload.Generate(cfg, seed)
+}
+
+// AllExperiments regenerates every campaign-level table and figure in
+// paper order (packet-level labs are separate; see PerformanceLab and
+// Testbed).
+func AllExperiments(c *Campaign) []*Result {
+	return experiments.All(c)
+}
+
+// Table4 regenerates the before/after bundling comparison (two Campus 1
+// campaigns: Mar/Apr with client 1.2.52, Jun/Jul with 1.4.0).
+func Table4(seed int64, scale float64) *Result {
+	return experiments.Table4(seed, scale)
+}
+
+// PerformanceLab runs the packet-level storage experiments behind Figs. 9
+// and 10: stratified flow sizes through the real protocol over simulated
+// TCP, measured by the passive probe. quick trades coverage for speed.
+func PerformanceLab(quick bool) (fig9, fig10 *Result) {
+	store := experiments.DefaultPacketLab(false)
+	retr := experiments.DefaultPacketLab(true)
+	if quick {
+		store = experiments.QuickPacketLab(false)
+		retr = experiments.QuickPacketLab(true)
+	}
+	return experiments.RunPacketLabs(store, retr)
+}
+
+// Testbed runs the decrypting-proxy-equivalent dissection: one client
+// against the full service with protocol message logging (Fig. 1) and
+// annotated packet traces (Fig. 19).
+func Testbed(seed int64) (fig1, fig19 *Result) {
+	tb := experiments.RunTestbed(seed)
+	return tb.Figure1, tb.Figure19
+}
+
+// SaveTraces writes a dataset's flow records as anonymized CSV, the format
+// of the paper's public release.
+func SaveTraces(ds *Dataset, w io.Writer) error {
+	tw := traces.NewWriter(w)
+	tw.Anonymize = true
+	for _, r := range ds.Records {
+		if err := tw.Write(r); err != nil {
+			return err
+		}
+	}
+	return tw.Flush()
+}
+
+// WriteResults renders results into dir, one text file per experiment,
+// plus an index.
+func WriteResults(dir string, results []*Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	var index []byte
+	for _, r := range results {
+		name := filepath.Join(dir, r.ID+".txt")
+		body := r.Title + "\n\n" + r.Text
+		if len(r.Metrics) > 0 {
+			body += "\nmetrics:\n"
+			for _, k := range sortedKeys(r.Metrics) {
+				body += fmt.Sprintf("  %s = %.6g\n", k, r.Metrics[k])
+			}
+		}
+		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+			return err
+		}
+		index = append(index, fmt.Sprintf("%s\t%s\n", r.ID, r.Title)...)
+	}
+	return os.WriteFile(filepath.Join(dir, "INDEX.txt"), index, 0o644)
+}
+
+func sortedKeys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

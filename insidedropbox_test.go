@@ -1,0 +1,79 @@
+package insidedropbox
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFacadeCampaignAndExperiments(t *testing.T) {
+	camp := RunCampaign(9, ScaleConfig{Campus1: 0.2, Campus2: 0.04, Home1: 0.015, Home2: 0.015})
+	if len(camp.Datasets) != 4 {
+		t.Fatalf("datasets = %d", len(camp.Datasets))
+	}
+	results := AllExperiments(camp)
+	if len(results) < 20 {
+		t.Fatalf("experiments = %d", len(results))
+	}
+	for _, r := range results {
+		if r.ID == "" || r.Title == "" || r.Text == "" {
+			t.Fatalf("incomplete result %+v", r.ID)
+		}
+	}
+}
+
+func TestFacadeSaveTraces(t *testing.T) {
+	ds := GenerateDataset(Campus1(0.25), 5)
+	var buf bytes.Buffer
+	if err := SaveTraces(ds, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "vp,client,server") {
+		t.Fatal("missing CSV header")
+	}
+	// Anonymized: no 10.x.y.z client addresses.
+	for _, line := range strings.Split(out, "\n")[1:] {
+		if strings.HasPrefix(line, "campus1,10.") {
+			t.Fatal("client address not anonymized")
+		}
+	}
+	if len(strings.Split(out, "\n")) < 100 {
+		t.Fatal("suspiciously few trace rows")
+	}
+}
+
+func TestFacadeWriteResults(t *testing.T) {
+	dir := t.TempDir()
+	camp := RunCampaign(11, ScaleConfig{Campus1: 0.15, Campus2: 0.03, Home1: 0.01, Home2: 0.01})
+	results := AllExperiments(camp)[:3]
+	if err := WriteResults(dir, results); err != nil {
+		t.Fatal(err)
+	}
+	idx, err := os.ReadFile(filepath.Join(dir, "INDEX.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(idx), "table1") {
+		t.Fatalf("index missing entries:\n%s", idx)
+	}
+	body, err := os.ReadFile(filepath.Join(dir, "table2.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "metrics:") {
+		t.Fatal("result file missing metrics section")
+	}
+}
+
+func TestFacadeTestbed(t *testing.T) {
+	fig1, fig19 := Testbed(13)
+	if !strings.Contains(fig1.Text, "MsgCommitBatch") {
+		t.Fatalf("testbed fig1 missing commit_batch:\n%s", fig1.Text)
+	}
+	if fig19.Metrics["captured_packets"] < 50 {
+		t.Fatal("testbed captured too few packets")
+	}
+}

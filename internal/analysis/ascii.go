@@ -1,0 +1,221 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Plot renders multi-series charts as ASCII, standing in for the paper's
+// gnuplot figures. X and Y axes can be linear or logarithmic.
+type Plot struct {
+	Title        string
+	XLabel       string
+	YLabel       string
+	Width        int
+	Height       int
+	LogX, LogY   bool
+	series       []plotSeries
+	xMin, xMax   float64
+	yMin, yMax   float64
+	hasRange     bool
+	forcedBounds bool
+}
+
+type plotSeries struct {
+	name   string
+	marker byte
+	xs, ys []float64
+}
+
+// markers assigned to series in order.
+var markers = []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+// NewPlot creates an 72x20 plot canvas.
+func NewPlot(title, xlabel, ylabel string) *Plot {
+	return &Plot{Title: title, XLabel: xlabel, YLabel: ylabel, Width: 72, Height: 20}
+}
+
+// SetBounds fixes the axis ranges instead of auto-scaling.
+func (p *Plot) SetBounds(xMin, xMax, yMin, yMax float64) {
+	p.xMin, p.xMax, p.yMin, p.yMax = xMin, xMax, yMin, yMax
+	p.forcedBounds = true
+}
+
+// AddSeries appends a named point set.
+func (p *Plot) AddSeries(name string, xs, ys []float64) {
+	m := markers[len(p.series)%len(markers)]
+	p.series = append(p.series, plotSeries{name: name, marker: m, xs: xs, ys: ys})
+	if p.forcedBounds {
+		return
+	}
+	for i := range xs {
+		x, y := xs[i], ys[i]
+		if p.LogX && x <= 0 || p.LogY && y <= 0 {
+			continue
+		}
+		if !p.hasRange {
+			p.xMin, p.xMax, p.yMin, p.yMax = x, x, y, y
+			p.hasRange = true
+			continue
+		}
+		p.xMin = math.Min(p.xMin, x)
+		p.xMax = math.Max(p.xMax, x)
+		p.yMin = math.Min(p.yMin, y)
+		p.yMax = math.Max(p.yMax, y)
+	}
+}
+
+// AddECDF samples an ECDF into a series (the standard CDF figure style).
+func (p *Plot) AddECDF(name string, e *ECDF) {
+	if e.N() == 0 {
+		return
+	}
+	const points = 120
+	xs := make([]float64, 0, points)
+	ys := make([]float64, 0, points)
+	lo, hi := e.Min(), e.Max()
+	if p.LogX {
+		if lo <= 0 {
+			lo = math.SmallestNonzeroFloat64
+		}
+		for i := 0; i <= points; i++ {
+			x := lo * math.Pow(hi/lo, float64(i)/points)
+			xs = append(xs, x)
+			ys = append(ys, e.At(x))
+		}
+	} else {
+		for i := 0; i <= points; i++ {
+			x := lo + (hi-lo)*float64(i)/points
+			xs = append(xs, x)
+			ys = append(ys, e.At(x))
+		}
+	}
+	p.AddSeries(name, xs, ys)
+}
+
+func (p *Plot) scaleX(x float64) (int, bool) {
+	if p.LogX {
+		if x <= 0 || p.xMin <= 0 {
+			return 0, false
+		}
+		f := math.Log(x/p.xMin) / math.Log(p.xMax/p.xMin)
+		return int(f * float64(p.Width-1)), f >= 0 && f <= 1
+	}
+	if p.xMax == p.xMin {
+		return 0, x == p.xMin
+	}
+	f := (x - p.xMin) / (p.xMax - p.xMin)
+	return int(f * float64(p.Width-1)), f >= 0 && f <= 1
+}
+
+func (p *Plot) scaleY(y float64) (int, bool) {
+	if p.LogY {
+		if y <= 0 || p.yMin <= 0 {
+			return 0, false
+		}
+		f := math.Log(y/p.yMin) / math.Log(p.yMax/p.yMin)
+		return int(f * float64(p.Height-1)), f >= 0 && f <= 1
+	}
+	if p.yMax == p.yMin {
+		return 0, y == p.yMin
+	}
+	f := (y - p.yMin) / (p.yMax - p.yMin)
+	return int(f * float64(p.Height-1)), f >= 0 && f <= 1
+}
+
+// String renders the canvas.
+func (p *Plot) String() string {
+	grid := make([][]byte, p.Height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", p.Width))
+	}
+	for _, s := range p.series {
+		for i := range s.xs {
+			cx, okx := p.scaleX(s.xs[i])
+			cy, oky := p.scaleY(s.ys[i])
+			if !okx || !oky {
+				continue
+			}
+			row := p.Height - 1 - cy
+			if row >= 0 && row < p.Height && cx >= 0 && cx < p.Width {
+				grid[row][cx] = s.marker
+			}
+		}
+	}
+	var b strings.Builder
+	if p.Title != "" {
+		fmt.Fprintf(&b, "%s\n", p.Title)
+	}
+	var legend []string
+	for _, s := range p.series {
+		legend = append(legend, fmt.Sprintf("%c=%s", s.marker, s.name))
+	}
+	if len(legend) > 0 {
+		fmt.Fprintf(&b, "  [%s]\n", strings.Join(legend, "  "))
+	}
+	yTop := formatAxis(p.yMax)
+	yBot := formatAxis(p.yMin)
+	pad := len(yTop)
+	if len(yBot) > pad {
+		pad = len(yBot)
+	}
+	for i, row := range grid {
+		label := strings.Repeat(" ", pad)
+		if i == 0 {
+			label = fmt.Sprintf("%*s", pad, yTop)
+		}
+		if i == p.Height-1 {
+			label = fmt.Sprintf("%*s", pad, yBot)
+		}
+		fmt.Fprintf(&b, "%s |%s|\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "%s +%s+\n", strings.Repeat(" ", pad), strings.Repeat("-", p.Width))
+	left := formatAxis(p.xMin)
+	right := formatAxis(p.xMax)
+	gap := p.Width - len(left) - len(right)
+	if gap < 1 {
+		gap = 1
+	}
+	fmt.Fprintf(&b, "%s  %s%s%s\n", strings.Repeat(" ", pad), left, strings.Repeat(" ", gap), right)
+	if p.XLabel != "" || p.YLabel != "" {
+		fmt.Fprintf(&b, "%s  x: %s, y: %s\n", strings.Repeat(" ", pad), p.XLabel, p.YLabel)
+	}
+	return b.String()
+}
+
+func formatAxis(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case v == 0:
+		return "0"
+	case av >= 1e9 || av < 1e-3:
+		return fmt.Sprintf("%.1e", v)
+	case av >= 100:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+// QuantileSummary renders a compact distribution summary line.
+func QuantileSummary(name string, samples []float64) string {
+	if len(samples) == 0 {
+		return fmt.Sprintf("%s: no samples", name)
+	}
+	e := NewECDF(samples)
+	return fmt.Sprintf("%s: n=%d min=%.3g p25=%.3g median=%.3g p75=%.3g p95=%.3g max=%.3g mean=%.3g",
+		name, e.N(), e.Min(), e.Quantile(0.25), e.Median(), e.Quantile(0.75),
+		e.Quantile(0.95), e.Max(), Mean(samples))
+}
+
+// SortedKeys returns map keys in sorted order (stable table rendering).
+func SortedKeys[K ~string, V any](m map[K]V) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}

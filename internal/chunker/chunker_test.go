@@ -1,0 +1,164 @@
+package chunker
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitJoinRoundTrip(t *testing.T) {
+	data := SyntheticFile{Seed: 7, Size: 3*MaxChunkSize + 12345}.Generate()
+	chunks := Split(data)
+	if len(chunks) != 4 {
+		t.Fatalf("chunks = %d, want 4", len(chunks))
+	}
+	for i, c := range chunks[:3] {
+		if c.Size != MaxChunkSize {
+			t.Fatalf("chunk %d size = %d", i, c.Size)
+		}
+	}
+	if chunks[3].Size != 12345 {
+		t.Fatalf("tail chunk = %d", chunks[3].Size)
+	}
+	if !bytes.Equal(Join(chunks), data) {
+		t.Fatal("join != original")
+	}
+}
+
+func TestSplitEmpty(t *testing.T) {
+	if Split(nil) != nil {
+		t.Fatal("empty split should be nil")
+	}
+}
+
+func TestHashStability(t *testing.T) {
+	a := HashBytes([]byte("hello"))
+	b := HashBytes([]byte("hello"))
+	c := HashBytes([]byte("hellp"))
+	if a != b {
+		t.Fatal("same content, different hash")
+	}
+	if a == c {
+		t.Fatal("different content, same hash")
+	}
+	if len(a.Short()) != 8 {
+		t.Fatalf("short form %q", a.Short())
+	}
+}
+
+func TestDedupAcrossIdenticalContent(t *testing.T) {
+	d1 := SyntheticFile{Seed: 1, Size: MaxChunkSize * 2}.Generate()
+	d2 := SyntheticFile{Seed: 1, Size: MaxChunkSize * 2}.Generate()
+	c1, c2 := Split(d1), Split(d2)
+	for i := range c1 {
+		if c1[i].Hash != c2[i].Hash {
+			t.Fatal("identical files should share chunk hashes")
+		}
+	}
+}
+
+func TestSyntheticRefs(t *testing.T) {
+	f := SyntheticFile{Seed: 42, Size: 2*MaxChunkSize + 100}
+	refs := f.Refs()
+	if len(refs) != 3 {
+		t.Fatalf("refs = %d", len(refs))
+	}
+	if refs[0].Size != MaxChunkSize || refs[2].Size != 100 {
+		t.Fatalf("sizes = %d,%d", refs[0].Size, refs[2].Size)
+	}
+	// Same seed+size: identical hashes (synthetic dedup).
+	again := SyntheticFile{Seed: 42, Size: 2*MaxChunkSize + 100}.Refs()
+	for i := range refs {
+		if refs[i] != again[i] {
+			t.Fatal("synthetic refs not deterministic")
+		}
+	}
+	// Different seed: different hashes.
+	other := SyntheticFile{Seed: 43, Size: 2*MaxChunkSize + 100}.Refs()
+	if refs[0].Hash == other[0].Hash {
+		t.Fatal("different seeds should not collide")
+	}
+}
+
+func TestSyntheticRefsExactMultiple(t *testing.T) {
+	refs := SyntheticFile{Seed: 1, Size: 2 * MaxChunkSize}.Refs()
+	if len(refs) != 2 || refs[1].Size != MaxChunkSize {
+		t.Fatalf("refs = %+v", refs)
+	}
+	if (SyntheticFile{}).Refs() != nil {
+		t.Fatal("zero-size file should have no refs")
+	}
+}
+
+func TestSyntheticRefsProperty(t *testing.T) {
+	f := func(seed uint64, sz uint32) bool {
+		size := int64(sz%50_000_000) + 1
+		refs := SyntheticFile{Seed: seed, Size: size}.Refs()
+		total := int64(0)
+		for _, r := range refs {
+			if r.Size <= 0 || r.Size > MaxChunkSize {
+				return false
+			}
+			total += int64(r.Size)
+		}
+		return total == size
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWireSize(t *testing.T) {
+	f := SyntheticFile{CompressRatio: 0.5}
+	if got := f.WireSize(1000); got != 500 {
+		t.Fatalf("wire size = %d", got)
+	}
+	f.CompressRatio = 0 // unset -> incompressible
+	if got := f.WireSize(1000); got != 1000 {
+		t.Fatalf("wire size = %d", got)
+	}
+	f.CompressRatio = 0.0001
+	if got := f.WireSize(10); got < 1 {
+		t.Fatalf("wire size must be positive, got %d", got)
+	}
+}
+
+func TestFlateSizeCompresses(t *testing.T) {
+	zeros := make([]byte, 100000)
+	if got := FlateSize(zeros); got >= 1000 {
+		t.Fatalf("zeros compressed to %d", got)
+	}
+	random := SyntheticFile{Seed: 9, Size: 100000}.Generate()
+	if got := FlateSize(random); got < 90000 {
+		t.Fatalf("random data compressed to %d — too compressible", got)
+	}
+}
+
+func TestReaderMatchesGenerate(t *testing.T) {
+	f := SyntheticFile{Seed: 5, Size: 10000}
+	direct := f.Generate()
+	streamed, err := io.ReadAll(f.Reader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(direct, streamed) {
+		t.Fatal("reader and generate disagree")
+	}
+}
+
+func BenchmarkSplit4MB(b *testing.B) {
+	data := SyntheticFile{Seed: 1, Size: MaxChunkSize}.Generate()
+	b.SetBytes(MaxChunkSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Split(data)
+	}
+}
+
+func BenchmarkSyntheticRefs(b *testing.B) {
+	f := SyntheticFile{Seed: 1, Size: 100 * MaxChunkSize}
+	for i := 0; i < b.N; i++ {
+		_ = f.Refs()
+	}
+}

@@ -1,0 +1,249 @@
+// Package deltasync implements an rsync/librsync-style delta codec: the
+// Dropbox client "reduces the amount of exchanged data by using delta
+// encoding when transmitting chunks" (Sec. 2.1) via librsync; this package
+// provides the same signature / delta / patch pipeline.
+//
+// The weak checksum is the classic rolling rsync checksum; the strong
+// checksum is truncated SHA-256. Deltas serialize to a compact binary
+// format so their on-the-wire size is measurable.
+package deltasync
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// DefaultBlockSize is the signature block granularity.
+const DefaultBlockSize = 2048
+
+// strongLen is the truncated strong-hash length stored per block.
+const strongLen = 16
+
+// weakSum is the rolling checksum state over a window of length l:
+// a = sum(X_i) mod 2^16, b = sum((l-i)*X_i) mod 2^16, s = a | b<<16.
+type weakSum struct {
+	a, b uint32
+	l    int
+}
+
+func newWeakSum(data []byte) weakSum {
+	var w weakSum
+	w.l = len(data)
+	for i, x := range data {
+		w.a += uint32(x)
+		w.b += uint32(len(data)-i) * uint32(x)
+	}
+	w.a &= 0xffff
+	w.b &= 0xffff
+	return w
+}
+
+// roll slides the window one byte: drop out, take in.
+func (w *weakSum) roll(out, in byte) {
+	w.a = (w.a + uint32(in) - uint32(out)) & 0xffff
+	w.b = (w.b + w.a - uint32(w.l)*uint32(out)) & 0xffff
+}
+
+func (w weakSum) digest() uint32 { return w.a | w.b<<16 }
+
+func strongHash(data []byte) [strongLen]byte {
+	full := sha256.Sum256(data)
+	var s [strongLen]byte
+	copy(s[:], full[:strongLen])
+	return s
+}
+
+// Signature summarizes a base file for delta generation.
+type Signature struct {
+	BlockSize int
+	blocks    []sigBlock
+	byWeak    map[uint32][]int // weak digest -> block indexes
+	baseLen   int
+}
+
+type sigBlock struct {
+	weak   uint32
+	strong [strongLen]byte
+}
+
+// NewSignature computes the signature of base with the given block size
+// (DefaultBlockSize if <= 0).
+func NewSignature(base []byte, blockSize int) *Signature {
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	s := &Signature{
+		BlockSize: blockSize,
+		byWeak:    make(map[uint32][]int),
+		baseLen:   len(base),
+	}
+	for off := 0; off+blockSize <= len(base); off += blockSize {
+		blk := base[off : off+blockSize]
+		w := newWeakSum(blk).digest()
+		idx := len(s.blocks)
+		s.blocks = append(s.blocks, sigBlock{weak: w, strong: strongHash(blk)})
+		s.byWeak[w] = append(s.byWeak[w], idx)
+	}
+	return s
+}
+
+// Blocks returns the number of signature blocks.
+func (s *Signature) Blocks() int { return len(s.blocks) }
+
+// WireSize returns the serialized signature size: 8 bytes header plus
+// (4 weak + strongLen) per block, matching librsync's layout.
+func (s *Signature) WireSize() int { return 8 + len(s.blocks)*(4+strongLen) }
+
+// Op codes in the delta stream.
+const (
+	opCopy    = 0xC0
+	opLiteral = 0x41
+	opEnd     = 0x00
+)
+
+// Delta is an encoded difference from a base to a target.
+type Delta struct {
+	buf []byte
+	// Literal counts bytes shipped verbatim (diagnostics).
+	LiteralBytes int
+	// Matched counts bytes reused from the base.
+	MatchedBytes int
+}
+
+// WireSize returns the serialized delta size.
+func (d *Delta) WireSize() int { return len(d.buf) }
+
+// Bytes returns the serialized delta.
+func (d *Delta) Bytes() []byte { return d.buf }
+
+// ParseDelta wraps serialized bytes for Apply.
+func ParseDelta(data []byte) *Delta { return &Delta{buf: data} }
+
+// GenerateDelta encodes target against the signature of a base.
+func GenerateDelta(sig *Signature, target []byte) *Delta {
+	d := &Delta{}
+	bs := sig.BlockSize
+	var lit []byte
+
+	flushLit := func() {
+		if len(lit) == 0 {
+			return
+		}
+		d.buf = append(d.buf, opLiteral)
+		d.buf = binary.AppendUvarint(d.buf, uint64(len(lit)))
+		d.buf = append(d.buf, lit...)
+		d.LiteralBytes += len(lit)
+		lit = lit[:0]
+	}
+	emitCopy := func(block, count int) {
+		d.buf = append(d.buf, opCopy)
+		d.buf = binary.AppendUvarint(d.buf, uint64(block))
+		d.buf = binary.AppendUvarint(d.buf, uint64(count))
+		d.MatchedBytes += count * bs
+	}
+
+	i := 0
+	var w weakSum
+	haveSum := false
+	pendingCopyStart, pendingCopyLen := -1, 0
+	for i+bs <= len(target) {
+		if !haveSum {
+			w = newWeakSum(target[i : i+bs])
+			haveSum = true
+		}
+		match := -1
+		if idxs, ok := sig.byWeak[w.digest()]; ok {
+			strong := strongHash(target[i : i+bs])
+			for _, idx := range idxs {
+				if sig.blocks[idx].strong == strong {
+					match = idx
+					break
+				}
+			}
+		}
+		if match >= 0 {
+			flushLit()
+			if pendingCopyStart >= 0 && match == pendingCopyStart+pendingCopyLen {
+				pendingCopyLen++
+			} else {
+				if pendingCopyStart >= 0 {
+					emitCopy(pendingCopyStart, pendingCopyLen)
+				}
+				pendingCopyStart, pendingCopyLen = match, 1
+			}
+			i += bs
+			haveSum = false
+		} else {
+			if pendingCopyStart >= 0 {
+				emitCopy(pendingCopyStart, pendingCopyLen)
+				pendingCopyStart = -1
+			}
+			lit = append(lit, target[i])
+			if i+bs < len(target) {
+				w.roll(target[i], target[i+bs])
+			} else {
+				haveSum = false // window hit the end; loop exits next check
+			}
+			i++
+		}
+	}
+	if pendingCopyStart >= 0 {
+		emitCopy(pendingCopyStart, pendingCopyLen)
+	}
+	lit = append(lit, target[i:]...)
+	flushLit()
+	d.buf = append(d.buf, opEnd)
+	return d
+}
+
+// Apply reconstructs the target from the base and a delta.
+func Apply(base []byte, sigBlockSize int, d *Delta) ([]byte, error) {
+	if sigBlockSize <= 0 {
+		sigBlockSize = DefaultBlockSize
+	}
+	var out []byte
+	buf := d.buf
+	for {
+		if len(buf) == 0 {
+			return nil, errors.New("deltasync: truncated delta (missing end op)")
+		}
+		op := buf[0]
+		buf = buf[1:]
+		switch op {
+		case opEnd:
+			return out, nil
+		case opCopy:
+			block, n := binary.Uvarint(buf)
+			if n <= 0 {
+				return nil, errors.New("deltasync: bad copy block")
+			}
+			buf = buf[n:]
+			count, n := binary.Uvarint(buf)
+			if n <= 0 {
+				return nil, errors.New("deltasync: bad copy count")
+			}
+			buf = buf[n:]
+			start := int(block) * sigBlockSize
+			end := start + int(count)*sigBlockSize
+			if start < 0 || end > len(base) || end < start {
+				return nil, fmt.Errorf("deltasync: copy [%d:%d] outside base of %d", start, end, len(base))
+			}
+			out = append(out, base[start:end]...)
+		case opLiteral:
+			length, n := binary.Uvarint(buf)
+			if n <= 0 {
+				return nil, errors.New("deltasync: bad literal length")
+			}
+			buf = buf[n:]
+			if uint64(len(buf)) < length {
+				return nil, errors.New("deltasync: literal exceeds delta")
+			}
+			out = append(out, buf[:length]...)
+			buf = buf[length:]
+		default:
+			return nil, fmt.Errorf("deltasync: unknown op 0x%02x", op)
+		}
+	}
+}

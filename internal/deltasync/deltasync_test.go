@@ -1,0 +1,205 @@
+package deltasync
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"insidedropbox/internal/chunker"
+)
+
+func synth(seed uint64, size int64) []byte {
+	return chunker.SyntheticFile{Seed: seed, Size: size}.Generate()
+}
+
+func roundTrip(t *testing.T, base, target []byte, blockSize int) *Delta {
+	t.Helper()
+	sig := NewSignature(base, blockSize)
+	d := GenerateDelta(sig, target)
+	got, err := Apply(base, sig.BlockSize, d)
+	if err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	if !bytes.Equal(got, target) {
+		t.Fatalf("round trip mismatch: got %d bytes, want %d", len(got), len(target))
+	}
+	return d
+}
+
+func TestIdenticalFilesTinyDelta(t *testing.T) {
+	data := synth(1, 100000)
+	d := roundTrip(t, data, data, 0)
+	// Only the sub-block tail ships as literal (classic rsync behaviour).
+	if d.LiteralBytes >= DefaultBlockSize {
+		t.Fatalf("identical content shipped %d literal bytes", d.LiteralBytes)
+	}
+	if d.WireSize() > d.LiteralBytes+200 {
+		t.Fatalf("delta for identical 100 kB file is %d bytes", d.WireSize())
+	}
+}
+
+func TestAppendOnlyChange(t *testing.T) {
+	base := synth(2, 50000)
+	target := append(append([]byte(nil), base...), synth(3, 5000)...)
+	d := roundTrip(t, base, target, 0)
+	if d.LiteralBytes > 5000+DefaultBlockSize {
+		t.Fatalf("append-only delta shipped %d literals", d.LiteralBytes)
+	}
+	if d.MatchedBytes < 48000 {
+		t.Fatalf("append-only delta matched only %d bytes", d.MatchedBytes)
+	}
+}
+
+func TestMiddleEdit(t *testing.T) {
+	base := synth(4, 80000)
+	target := append([]byte(nil), base...)
+	copy(target[40000:40100], bytes.Repeat([]byte{0xFF}, 100))
+	d := roundTrip(t, base, target, 0)
+	// The edit invalidates at most a couple of blocks.
+	if d.LiteralBytes > 3*DefaultBlockSize {
+		t.Fatalf("middle edit shipped %d literals", d.LiteralBytes)
+	}
+}
+
+func TestInsertionShiftsContent(t *testing.T) {
+	// Rolling checksum must resynchronize after an unaligned insertion.
+	base := synth(5, 60000)
+	target := append([]byte(nil), base[:30000]...)
+	target = append(target, []byte("INSERTED")...)
+	target = append(target, base[30000:]...)
+	d := roundTrip(t, base, target, 0)
+	if d.MatchedBytes < 50000 {
+		t.Fatalf("after insertion matched only %d bytes — rolling resync broken", d.MatchedBytes)
+	}
+}
+
+func TestCompletelyDifferentContent(t *testing.T) {
+	base := synth(6, 20000)
+	target := synth(7, 20000)
+	d := roundTrip(t, base, target, 0)
+	if d.LiteralBytes != 20000 {
+		t.Fatalf("unrelated content matched %d bytes", d.MatchedBytes)
+	}
+}
+
+func TestEmptyCases(t *testing.T) {
+	roundTrip(t, nil, synth(8, 1000), 0)             // empty base
+	roundTrip(t, synth(9, 1000), nil, 0)             // empty target
+	roundTrip(t, nil, nil, 0)                        // both empty
+	roundTrip(t, synth(10, 100), synth(10, 100), 64) // tiny with small blocks
+}
+
+func TestTargetSmallerThanBlock(t *testing.T) {
+	base := synth(11, 10000)
+	target := base[:100]
+	d := roundTrip(t, base, target, 0)
+	if d.LiteralBytes != 100 {
+		t.Fatalf("sub-block target: literals = %d", d.LiteralBytes)
+	}
+}
+
+func TestSignatureStats(t *testing.T) {
+	sig := NewSignature(synth(12, 10*DefaultBlockSize+5), 0)
+	if sig.Blocks() != 10 {
+		t.Fatalf("blocks = %d", sig.Blocks())
+	}
+	want := 8 + 10*(4+strongLen)
+	if sig.WireSize() != want {
+		t.Fatalf("sig wire size = %d, want %d", sig.WireSize(), want)
+	}
+}
+
+func TestApplyRejectsCorruptDeltas(t *testing.T) {
+	base := synth(13, 10000)
+	sig := NewSignature(base, 0)
+	d := GenerateDelta(sig, synth(13, 10000))
+	cases := [][]byte{
+		{},           // empty
+		{opCopy},     // truncated op
+		{0x99, 0x01}, // unknown op
+		{opLiteral, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F}, // absurd literal
+		d.Bytes()[:len(d.Bytes())-1],                                      // missing end marker
+	}
+	for i, c := range cases {
+		if _, err := Apply(base, sig.BlockSize, ParseDelta(c)); err == nil {
+			t.Fatalf("corrupt delta %d accepted", i)
+		}
+	}
+	// Copy outside base bounds.
+	var out []byte
+	out = append(out, opCopy, 0xFF, 0x01, 0x01, opEnd)
+	if _, err := Apply(base[:100], DefaultBlockSize, ParseDelta(out)); err == nil {
+		t.Fatal("out-of-bounds copy accepted")
+	}
+}
+
+func TestWeakSumRolling(t *testing.T) {
+	data := synth(14, 5000)
+	const n = 512
+	w := newWeakSum(data[0:n])
+	for i := 0; i+n < len(data); i++ {
+		fresh := newWeakSum(data[i : i+n])
+		if w.digest() != fresh.digest() {
+			t.Fatalf("rolling diverged at offset %d", i)
+		}
+		w.roll(data[i], data[i+n])
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seedA, seedB uint64, sizeA, sizeB uint16, mutate bool) bool {
+		base := synth(seedA, int64(sizeA)+1)
+		var target []byte
+		if mutate {
+			target = append([]byte(nil), base...)
+			if len(target) > 10 {
+				target[len(target)/2] ^= 0xFF
+			}
+			target = append(target, synth(seedB, int64(sizeB%512))...)
+		} else {
+			target = synth(seedB, int64(sizeB)+1)
+		}
+		sig := NewSignature(base, 256)
+		d := GenerateDelta(sig, target)
+		got, err := Apply(base, 256, d)
+		return err == nil && bytes.Equal(got, target)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeltaSavesBandwidth(t *testing.T) {
+	// The headline purpose: retransmitting a slightly-edited 1 MB file
+	// should cost a small fraction of the full size.
+	base := synth(15, 1<<20)
+	target := append([]byte(nil), base...)
+	for i := 0; i < 10; i++ {
+		target[i*100000] ^= 0x55
+	}
+	sig := NewSignature(base, 0)
+	d := GenerateDelta(sig, target)
+	if d.WireSize() > (1<<20)/10 {
+		t.Fatalf("delta = %d bytes for 10 point edits in 1 MB", d.WireSize())
+	}
+}
+
+func BenchmarkSignature1MB(b *testing.B) {
+	data := synth(16, 1<<20)
+	b.SetBytes(1 << 20)
+	for i := 0; i < b.N; i++ {
+		_ = NewSignature(data, 0)
+	}
+}
+
+func BenchmarkDelta1MBEdit(b *testing.B) {
+	base := synth(17, 1<<20)
+	target := append([]byte(nil), base...)
+	target[500000] ^= 0xAA
+	sig := NewSignature(base, 0)
+	b.SetBytes(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = GenerateDelta(sig, target)
+	}
+}

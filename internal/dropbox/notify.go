@@ -1,0 +1,223 @@
+package dropbox
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"insidedropbox/internal/simtime"
+	"insidedropbox/internal/tcpsim"
+)
+
+// The notification protocol is the one Dropbox exchange that is NOT
+// TLS-encrypted (Sec. 2.3.1): clients long-poll notifyX.dropbox.com over
+// plain HTTP, carrying their host_int and namespace list in the clear. The
+// paper's probe extracts device identifiers and shared-folder counts from
+// exactly these bytes, so requests are fully materialized on the wire here.
+
+// EncodeNotifyRequest renders the cleartext long-poll request.
+func EncodeNotifyRequest(r NotifyRequest) []byte {
+	var b strings.Builder
+	b.WriteString("GET /subscribe?host_int=")
+	b.WriteString(strconv.FormatUint(uint64(r.Host), 10))
+	b.WriteString("&ns_map=")
+	for i, ns := range r.Namespaces {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.FormatUint(uint64(ns), 10))
+		b.WriteString("_1")
+	}
+	b.WriteString(" HTTP/1.1\r\nHost: notify.dropbox.com\r\nConnection: keep-alive\r\n\r\n")
+	return []byte(b.String())
+}
+
+// ParseNotifyRequest recovers the request from captured bytes. The probe
+// uses the same parser as the server (classic DPI).
+func ParseNotifyRequest(data []byte) (NotifyRequest, bool) {
+	s := string(data)
+	const pfx = "GET /subscribe?host_int="
+	start := strings.Index(s, pfx)
+	if start < 0 {
+		return NotifyRequest{}, false
+	}
+	s = s[start+len(pfx):]
+	amp := strings.Index(s, "&ns_map=")
+	if amp < 0 {
+		return NotifyRequest{}, false
+	}
+	host, err := strconv.ParseUint(s[:amp], 10, 64)
+	if err != nil {
+		return NotifyRequest{}, false
+	}
+	rest := s[amp+len("&ns_map="):]
+	sp := strings.IndexByte(rest, ' ')
+	if sp < 0 {
+		return NotifyRequest{}, false
+	}
+	req := NotifyRequest{Host: HostID(host)}
+	for _, part := range strings.Split(rest[:sp], ",") {
+		if part == "" {
+			continue
+		}
+		idStr, _, _ := strings.Cut(part, "_")
+		id, err := strconv.ParseUint(idStr, 10, 32)
+		if err != nil {
+			return NotifyRequest{}, false
+		}
+		req.Namespaces = append(req.Namespaces, NamespaceID(id))
+	}
+	return req, true
+}
+
+// EncodeNotifyResponse renders the long-poll response.
+func EncodeNotifyResponse(r NotifyResponse) []byte {
+	var body strings.Builder
+	body.WriteString(`{"ret":"punt","changed":[`)
+	for i, ns := range r.Changed {
+		if i > 0 {
+			body.WriteByte(',')
+		}
+		body.WriteString(strconv.FormatUint(uint64(ns), 10))
+	}
+	body.WriteString("]}")
+	return []byte(fmt.Sprintf("HTTP/1.1 200 OK\r\nContent-Length: %d\r\n\r\n%s", body.Len(), body.String()))
+}
+
+// ParseNotifyResponse recovers the changed-namespace list.
+func ParseNotifyResponse(data []byte) (NotifyResponse, bool) {
+	s := string(data)
+	i := strings.Index(s, `"changed":[`)
+	if i < 0 {
+		return NotifyResponse{}, false
+	}
+	s = s[i+len(`"changed":["`)-1:]
+	end := strings.IndexByte(s, ']')
+	if end < 0 {
+		return NotifyResponse{}, false
+	}
+	var resp NotifyResponse
+	for _, part := range strings.Split(s[:end], ",") {
+		if part == "" {
+			continue
+		}
+		id, err := strconv.ParseUint(part, 10, 32)
+		if err != nil {
+			return NotifyResponse{}, false
+		}
+		resp.Changed = append(resp.Changed, NamespaceID(id))
+	}
+	return resp, true
+}
+
+// notifyState is the server side of the long-poll protocol, shared by all
+// notification front-ends.
+type notifyState struct {
+	svc     *Service
+	waiters map[*tcpsim.Conn]*notifyWaiter
+	byNS    map[NamespaceID]map[*tcpsim.Conn]struct{}
+}
+
+type notifyWaiter struct {
+	conn  *tcpsim.Conn
+	req   NotifyRequest
+	timer simtime.EventID
+	buf   []byte
+	armed bool // request fully received, response pending
+}
+
+func newNotifyState(svc *Service) *notifyState {
+	return &notifyState{
+		svc:     svc,
+		waiters: make(map[*tcpsim.Conn]*notifyWaiter),
+		byNS:    make(map[NamespaceID]map[*tcpsim.Conn]struct{}),
+	}
+}
+
+func (n *notifyState) accept(conn *tcpsim.Conn) {
+	w := &notifyWaiter{conn: conn}
+	n.waiters[conn] = w
+	conn.OnRecv = func(data []byte, size int, push bool) {
+		w.buf = append(w.buf, data...)
+		if !strings.Contains(string(w.buf), "\r\n\r\n") {
+			return
+		}
+		req, ok := ParseNotifyRequest(w.buf)
+		w.buf = nil
+		if !ok {
+			conn.Abort()
+			n.drop(conn)
+			return
+		}
+		n.arm(w, req)
+	}
+	cleanup := func() { n.drop(conn) }
+	conn.OnPeerClose = func() {
+		conn.Close()
+		cleanup()
+	}
+	conn.OnReset = cleanup
+	conn.OnClosed = cleanup
+}
+
+// arm registers the waiter's subscriptions and schedules the 60 s punt.
+func (n *notifyState) arm(w *notifyWaiter, req NotifyRequest) {
+	w.req = req
+	w.armed = true
+	for _, ns := range req.Namespaces {
+		set := n.byNS[ns]
+		if set == nil {
+			set = make(map[*tcpsim.Conn]struct{})
+			n.byNS[ns] = set
+		}
+		set[w.conn] = struct{}{}
+	}
+	w.timer = n.svc.cfg.Sched.After(NotifyPollPeriod, func() {
+		n.respond(w, nil)
+	})
+}
+
+// journalAdvanced pushes an immediate response to every device subscribed
+// to the namespace ("changes on the central storage are advertised as soon
+// as they are performed").
+func (n *notifyState) journalAdvanced(ns NamespaceID, seq uint64) {
+	set := n.byNS[ns]
+	for conn := range set {
+		w := n.waiters[conn]
+		if w != nil && w.armed {
+			n.respond(w, []NamespaceID{ns})
+		}
+	}
+}
+
+func (n *notifyState) respond(w *notifyWaiter, changed []NamespaceID) {
+	if !w.armed {
+		return
+	}
+	w.armed = false
+	w.timer.Cancel()
+	n.unsubscribe(w)
+	resp := EncodeNotifyResponse(NotifyResponse{Changed: changed})
+	w.conn.Write(resp, len(resp), true)
+}
+
+func (n *notifyState) unsubscribe(w *notifyWaiter) {
+	for _, ns := range w.req.Namespaces {
+		if set := n.byNS[ns]; set != nil {
+			delete(set, w.conn)
+			if len(set) == 0 {
+				delete(n.byNS, ns)
+			}
+		}
+	}
+}
+
+func (n *notifyState) drop(conn *tcpsim.Conn) {
+	w := n.waiters[conn]
+	if w == nil {
+		return
+	}
+	w.timer.Cancel()
+	n.unsubscribe(w)
+	delete(n.waiters, conn)
+}

@@ -1,0 +1,211 @@
+// Package dropbox implements the 2012 Dropbox client/server protocol as
+// dissected by the paper (Sec. 2): the meta-data control protocol
+// (register_host, list, commit_batch, need_blocks, close_changeset), the
+// per-chunk storage protocol with sequential acknowledgments, the v1.4.0
+// batched variants (store_batch/retrieve_batch), and the cleartext
+// notification long-polling protocol.
+//
+// The package contains both sides: the service (control, notification and
+// Amazon-style storage servers) and the client sync engine, all running over
+// tcpsim/tlssim so that every protocol byte appears on the simulated wire
+// with the sizes the paper measured (Appendix A).
+package dropbox
+
+import (
+	"time"
+
+	"insidedropbox/internal/chunker"
+)
+
+// Version selects the client protocol generation the paper compares in
+// Table 4.
+type Version int
+
+// Protocol versions under study.
+const (
+	// V1252 is client 1.2.52 (Mar/Apr dataset): one chunk per store or
+	// retrieve operation, sequentially acknowledged.
+	V1252 Version = iota
+	// V140 is client 1.4.0 (Jun/Jul dataset): store_batch/retrieve_batch
+	// bundle small chunks into single operations.
+	V140
+)
+
+func (v Version) String() string {
+	if v == V140 {
+		return "1.4.0"
+	}
+	return "1.2.52"
+}
+
+// Protocol size constants measured by the authors (Appendix A.2/A.3).
+const (
+	// StoreClientOverhead is the minimum request framing a client spends
+	// per store operation.
+	StoreClientOverhead = 634
+	// RetrieveClientOverheadMin/Max bound the per-retrieve request size;
+	// typical requests fall in 362..426 bytes.
+	RetrieveClientOverheadMin = 362
+	RetrieveClientOverheadMax = 426
+	// ServerOpOverhead is the server-side response framing per operation
+	// (the HTTP OK of Fig. 19).
+	ServerOpOverhead = 309
+	// MaxChunksPerBatch caps chunks per transaction; larger synchronizations
+	// split into several batches (Sec. 2.3.2).
+	MaxChunksPerBatch = 100
+	// MaxBatchBytes is the cap a batch can reach: 100 chunks of 4 MB.
+	MaxBatchBytes = MaxChunksPerBatch * chunker.MaxChunkSize
+	// StorageIdleTimeout closes an idle storage connection (Fig. 19).
+	StorageIdleTimeout = 60 * time.Second
+	// NotifyPollPeriod is the long-poll response delay with no changes.
+	NotifyPollPeriod = 60 * time.Second
+	// BundleTargetBytes is how much v1.4.0 packs into one store_batch.
+	BundleTargetBytes = 4 << 20
+)
+
+// HostID is the device identifier (host_int) carried in notification
+// requests.
+type HostID uint64
+
+// NamespaceID identifies a synchronized folder; every account has a root
+// namespace and one extra namespace per shared folder (Sec. 2.3.1).
+type NamespaceID uint32
+
+// ---- control-plane messages (ride the TLS side channel; wire sizes are
+// what the probe observes) ----
+
+// MsgRegisterHost announces a device to the control plane.
+type MsgRegisterHost struct {
+	Host       HostID
+	Namespaces []NamespaceID
+}
+
+// MsgRegisterOK acknowledges registration.
+type MsgRegisterOK struct{}
+
+// MsgList asks for journal updates past the client's cursor.
+type MsgList struct {
+	Host    HostID
+	Cursors map[NamespaceID]uint64
+}
+
+// MsgListResp returns per-namespace journal deltas plus the rotating list
+// of storage server names handed to clients (Sec. 2.4).
+type MsgListResp struct {
+	Updates      map[NamespaceID][]JournalEntry
+	StorageNames []string
+}
+
+// MsgCommitBatch submits meta-data for a batch of chunks about to be stored.
+type MsgCommitBatch struct {
+	Host      HostID
+	Namespace NamespaceID
+	Refs      []chunker.Ref
+}
+
+// MsgNeedBlocks lists the chunks the server does not already have
+// (deduplication, Sec. 2.1); only these must be uploaded.
+type MsgNeedBlocks struct {
+	Missing []chunker.Hash
+}
+
+// MsgCloseChangeset commits a transaction after its chunks are stored.
+type MsgCloseChangeset struct {
+	Host      HostID
+	Namespace NamespaceID
+	Refs      []chunker.Ref
+}
+
+// MsgOK is the generic acknowledgment.
+type MsgOK struct{}
+
+// ---- storage messages ----
+
+// MsgStore uploads one chunk (v1.2.52: one per operation).
+type MsgStore struct {
+	Ref      chunker.Ref
+	WireSize int // compressed bytes actually sent
+}
+
+// MsgStoreOK acknowledges one store operation.
+type MsgStoreOK struct{}
+
+// MsgStoreBatch uploads several chunks in one operation (v1.4.0).
+type MsgStoreBatch struct {
+	Refs     []chunker.Ref
+	WireSize int
+}
+
+// MsgRetrieve requests one chunk.
+type MsgRetrieve struct {
+	Hash chunker.Hash
+}
+
+// MsgRetrieveBatch requests several chunks in one operation (v1.4.0).
+type MsgRetrieveBatch struct {
+	Hashes []chunker.Hash
+}
+
+// MsgRetrieveData carries chunk content back.
+type MsgRetrieveData struct {
+	Refs     []chunker.Ref
+	WireSize int
+}
+
+// ---- notification messages (cleartext HTTP long-poll) ----
+
+// NotifyRequest is serialized in cleartext so the probe can read device and
+// namespace identifiers (Sec. 2.3.1). See EncodeNotifyRequest.
+type NotifyRequest struct {
+	Host       HostID
+	Namespaces []NamespaceID
+}
+
+// NotifyResponse ends a long poll; Changed lists namespaces with news.
+type NotifyResponse struct {
+	Changed []NamespaceID
+}
+
+// JournalEntry is one committed meta-data mutation in a namespace journal.
+type JournalEntry struct {
+	Seq  uint64
+	Path string
+	Refs []chunker.Ref
+	// WireHint preserves the compressed transfer size for synthetic
+	// content so downloaders retrieve the same byte counts uploaders sent.
+	WireHint float64
+}
+
+// ControlMsgSize returns the on-the-wire plaintext size of a control
+// message, approximating the JSON-ish encodings of the real protocol. The
+// constants keep control flows small (Fig. 4: control volume is negligible)
+// while scaling with content (hash lists).
+func ControlMsgSize(m any) int {
+	const hashLen = 32
+	switch t := m.(type) {
+	case MsgRegisterHost:
+		return 180 + 8*len(t.Namespaces)
+	case MsgRegisterOK:
+		return 120
+	case MsgList:
+		return 160 + 16*len(t.Cursors)
+	case MsgListResp:
+		n := 200 + 24*len(t.StorageNames)
+		for _, entries := range t.Updates {
+			for _, e := range entries {
+				n += 90 + len(e.Path) + hashLen*len(e.Refs)
+			}
+		}
+		return n
+	case MsgCommitBatch:
+		return 220 + (hashLen+12)*len(t.Refs)
+	case MsgNeedBlocks:
+		return 140 + hashLen*len(t.Missing)
+	case MsgCloseChangeset:
+		return 200 + (hashLen+12)*len(t.Refs)
+	case MsgOK:
+		return 110
+	default:
+		return 150
+	}
+}

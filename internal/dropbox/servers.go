@@ -1,0 +1,374 @@
+package dropbox
+
+import (
+	"time"
+
+	"insidedropbox/internal/chunker"
+	"insidedropbox/internal/dnssim"
+	"insidedropbox/internal/netem"
+	"insidedropbox/internal/simrand"
+	"insidedropbox/internal/simtime"
+	"insidedropbox/internal/tcpsim"
+	"insidedropbox/internal/tlssim"
+	"insidedropbox/internal/wire"
+)
+
+// ServiceConfig wires a Service into a simulation.
+type ServiceConfig struct {
+	Sched *simtime.Scheduler
+	Net   *netem.Network
+	Rng   *simrand.Source
+	Dir   *dnssim.Directory
+
+	// ServerTCP configures the server stacks. The initial window is the
+	// knob the paper saw tuned with the 1.4.0 deployment (Appendix A.4).
+	ServerTCP tcpsim.Config
+
+	// ReactionMedian is the median server processing time per storage
+	// operation ("server reaction time", Sec. 4.4.2). Zero uses the
+	// default of 45 ms.
+	ReactionMedian time.Duration
+
+	// ControlIdleTimeout closes idle meta-data connections; the paper
+	// observed "aggressive TCP connection timeout handling" producing many
+	// short TLS connections. Zero uses 15 s.
+	ControlIdleTimeout time.Duration
+
+	// StorageNamesPerClient is how many dl-clientX aliases the control
+	// plane hands to each client in list responses.
+	StorageNamesPerClient int
+}
+
+// Service is the whole Dropbox-plus-Amazon backend: every server host from
+// the DNS directory, listening and serving.
+type Service struct {
+	cfg  ServiceConfig
+	Meta *Metastore
+	rng  *simrand.Source
+
+	// pairing connects the two tlssim endpoints of an in-flight dial.
+	pairing map[wire.Endpoint]*tlssim.Session
+
+	// wireSize remembers the compressed transfer size of stored chunks so
+	// retrieves send the same byte counts.
+	wireSize map[chunker.Hash]int
+
+	notify *notifyState
+
+	// nameCursor rotates which slice of storage names each list response
+	// advertises.
+	nameCursor int
+
+	// Counters (ground truth for validating probe inferences).
+	StoreOps, RetrieveOps int
+	BatchOps              int
+
+	// Trace, when set, receives every protocol message the servers handle
+	// or send — the equivalent of the paper's decrypting-proxy testbed
+	// (Sec. 2.2). The first argument is "recv" or "send"; server names the
+	// subsystem ("control" or "storage").
+	Trace func(dir, server string, meta any)
+}
+
+// NewService builds all server hosts and listeners.
+func NewService(cfg ServiceConfig) *Service {
+	if cfg.ReactionMedian == 0 {
+		cfg.ReactionMedian = 45 * time.Millisecond
+	}
+	if cfg.ControlIdleTimeout == 0 {
+		cfg.ControlIdleTimeout = 15 * time.Second
+	}
+	if cfg.StorageNamesPerClient == 0 {
+		cfg.StorageNamesPerClient = 40
+	}
+	s := &Service{
+		cfg:      cfg,
+		Meta:     NewMetastore(),
+		rng:      cfg.Rng.Fork("service"),
+		pairing:  make(map[wire.Endpoint]*tlssim.Session),
+		wireSize: make(map[chunker.Hash]int),
+	}
+	s.notify = newNotifyState(s)
+	s.Meta.OnJournalAdvance = s.notify.journalAdvanced
+
+	for _, name := range cfg.Dir.MetaNames {
+		for _, ip := range cfg.Dir.Pool(name) {
+			s.ensureHost(ip, dnssim.DropboxDC, s.acceptControl, 443)
+		}
+	}
+	for _, name := range cfg.Dir.NotifyNames {
+		for _, ip := range cfg.Dir.Pool(name) {
+			s.ensureNotifyHost(ip)
+		}
+	}
+	for _, name := range cfg.Dir.StorageNames {
+		for _, ip := range cfg.Dir.Pool(name) {
+			s.ensureHost(ip, dnssim.AmazonDC, s.acceptStorage, 443)
+		}
+	}
+	// Remaining Amazon/Dropbox names (web, api, logs) are served by simple
+	// storage-style endpoints; the workload model generates their traffic
+	// at flow level, but the hosts exist so packet-level tests can reach
+	// them.
+	for _, name := range []string{"www.dropbox.com", "api.dropbox.com", "d.dropbox.com",
+		"dl.dropbox.com", "dl-web.dropbox.com", "api-content.dropbox.com", "dl-debug1.dropbox.com"} {
+		for _, ip := range cfg.Dir.Pool(name) {
+			s.ensureHost(ip, cfg.Dir.DataCenter(ip), s.acceptStorage, 443)
+		}
+	}
+	return s
+}
+
+func (s *Service) ensureHost(ip wire.IP, site string, accept func(*tcpsim.Conn), port uint16) {
+	if s.cfg.Net.Host(ip) != nil {
+		return
+	}
+	h := s.cfg.Net.AddHost(ip, netem.SiteID(site), storageAccess())
+	st := tcpsim.NewStack(h, s.cfg.Sched, s.rng, s.cfg.ServerTCP)
+	st.Listen(port, accept)
+}
+
+func (s *Service) ensureNotifyHost(ip wire.IP) {
+	if s.cfg.Net.Host(ip) != nil {
+		return
+	}
+	h := s.cfg.Net.AddHost(ip, netem.SiteID(dnssim.DropboxDC), netem.DataCenter())
+	st := tcpsim.NewStack(h, s.cfg.Sched, s.rng, s.cfg.ServerTCP)
+	st.Listen(80, s.notify.accept)
+}
+
+// storageAccess rate-limits each storage front-end to ~10 Mbit/s per
+// server in both directions, matching the ceiling the paper observed ("the
+// highest observed throughput, close to 10 Mbits/s", Sec. 4.4).
+func storageAccess() netem.AccessProfile {
+	return netem.AccessProfile{UpRate: 1.25e6, DownRate: 1.25e6, Delay: 100 * time.Microsecond}
+}
+
+// SeedChunk pre-populates the storage back-end with a chunk and its
+// compressed transfer size — used by experiment labs to stage content for
+// retrieve-side measurements without a full upload pass.
+func (s *Service) SeedChunk(ref chunker.Ref, wireSize int) {
+	s.Meta.StoreChunk(ref)
+	s.wireSize[ref.Hash] = wireSize
+}
+
+// RegisterPending is called by clients right after dialing: it lets the
+// accepting server pair the TLS side channels.
+func (s *Service) RegisterPending(local wire.Endpoint, sess *tlssim.Session) {
+	s.pairing[local] = sess
+}
+
+func (s *Service) pairServer(conn *tcpsim.Conn, server *tlssim.Session) bool {
+	client, ok := s.pairing[conn.RemoteEndpoint()]
+	if !ok {
+		return false
+	}
+	delete(s.pairing, conn.RemoteEndpoint())
+	tlssim.Pair(client, server)
+	return true
+}
+
+// reaction samples a server processing delay.
+func (s *Service) reaction() time.Duration {
+	med := float64(s.cfg.ReactionMedian)
+	return time.Duration(s.rng.LogNormalMedian(med, 0.5))
+}
+
+// ---------- control servers ----------
+
+func (s *Service) acceptControl(conn *tcpsim.Conn) {
+	sess := tlssim.NewServer(conn, "*.dropbox.com", tlssim.DefaultHandshake())
+	if !s.pairServer(conn, sess) {
+		conn.Abort()
+		return
+	}
+	var idle simtime.EventID
+	resetIdle := func() {
+		idle.Cancel()
+		idle = s.cfg.Sched.After(s.cfg.ControlIdleTimeout, func() {
+			sess.CloseNotify()
+		})
+	}
+	resetIdle()
+	sess.OnMessage = func(meta any, size int) {
+		resetIdle()
+		delay := s.reaction()
+		s.cfg.Sched.After(delay, func() {
+			s.handleControl(sess, meta)
+			resetIdle()
+		})
+	}
+	sess.OnClosed = func() { idle.Cancel() }
+	sess.OnReset = func() { idle.Cancel() }
+}
+
+func (s *Service) trace(dir, server string, meta any) {
+	if s.Trace != nil {
+		s.Trace(dir, server, meta)
+	}
+}
+
+func (s *Service) handleControl(sess *tlssim.Session, meta any) {
+	s.trace("recv", "control", meta)
+	switch m := meta.(type) {
+	case MsgRegisterHost:
+		reply(sess, MsgRegisterOK{})
+	case MsgList:
+		resp := MsgListResp{Updates: make(map[NamespaceID][]JournalEntry)}
+		for ns, cursor := range m.Cursors {
+			if upd := s.Meta.UpdatesSince(ns, cursor); len(upd) > 0 {
+				resp.Updates[ns] = upd
+			}
+		}
+		resp.StorageNames = s.storageNameSlice()
+		reply(sess, resp)
+	case MsgCommitBatch:
+		missing := s.Meta.NeedBlocks(m.Refs)
+		reply(sess, MsgNeedBlocks{Missing: missing})
+	case MsgCloseChangeset:
+		var wireTotal float64
+		for _, r := range m.Refs {
+			if w, ok := s.wireSize[r.Hash]; ok {
+				wireTotal += float64(w)
+			} else {
+				wireTotal += float64(r.Size)
+			}
+		}
+		// Committing with a path derived from the host keeps journal
+		// entries distinct without a full file-tree model.
+		seq, err := s.Meta.Commit(m.Namespace, commitPath(m.Host), m.Refs, wireTotal)
+		if err != nil {
+			reply(sess, MsgOK{}) // commit of unknown namespace: tolerate
+			return
+		}
+		reply(sess, MsgCommitDone{Seq: seq})
+	default:
+		reply(sess, MsgOK{})
+	}
+}
+
+// MsgCommitDone acknowledges close_changeset with the committed sequence so
+// the uploader can advance its cursor past its own entry. (Simplification:
+// concurrent commits by other devices between a client's list and commit
+// are picked up by the next notification cycle.)
+type MsgCommitDone struct{ Seq uint64 }
+
+func commitPath(h HostID) string {
+	return "f" + string(rune('a'+int(h%26))) + "/upload"
+}
+
+func (s *Service) storageNameSlice() []string {
+	names := s.cfg.Dir.StorageNames
+	k := s.cfg.StorageNamesPerClient
+	if k > len(names) {
+		k = len(names)
+	}
+	out := make([]string, 0, k)
+	for i := 0; i < k; i++ {
+		out = append(out, names[(s.nameCursor+i)%len(names)])
+	}
+	s.nameCursor = (s.nameCursor + k) % len(names)
+	return out
+}
+
+func reply(sess *tlssim.Session, m any) {
+	sess.Send(m, ControlMsgSize(m))
+}
+
+// ---------- storage servers ----------
+
+func (s *Service) acceptStorage(conn *tcpsim.Conn) {
+	sess := tlssim.NewServer(conn, "*.dropbox.com", tlssim.DefaultHandshake())
+	if !s.pairServer(conn, sess) {
+		conn.Abort()
+		return
+	}
+	var idle simtime.EventID
+	closed := false
+	resetIdle := func() {
+		idle.Cancel()
+		idle = s.cfg.Sched.After(StorageIdleTimeout, func() {
+			// Fig. 19: the server closes an idle storage connection with an
+			// SSL alert followed by FIN.
+			sess.CloseNotify()
+		})
+	}
+	resetIdle()
+	// Any inbound bytes count as activity: a 60 s timer must not sever a
+	// slow upload in progress, only truly idle connections. Rearming is
+	// throttled to once per second to keep scheduler churn low.
+	var lastArm simtime.Time
+	sess.OnActivity = func() {
+		if closed {
+			return
+		}
+		if now := s.cfg.Sched.Now(); now.Sub(lastArm) >= time.Second {
+			lastArm = now
+			resetIdle()
+		}
+	}
+	sess.OnMessage = func(meta any, size int) {
+		if closed {
+			return
+		}
+		idle.Cancel()
+		delay := s.reaction()
+		s.cfg.Sched.After(delay, func() {
+			if closed {
+				return
+			}
+			s.handleStorage(sess, meta)
+			resetIdle()
+		})
+	}
+	sess.OnClosed = func() { closed = true; idle.Cancel() }
+	sess.OnReset = func() { closed = true; idle.Cancel() }
+}
+
+func (s *Service) handleStorage(sess *tlssim.Session, meta any) {
+	s.trace("recv", "storage", meta)
+	switch m := meta.(type) {
+	case MsgStore:
+		s.StoreOps++
+		s.Meta.StoreChunk(m.Ref)
+		s.wireSize[m.Ref.Hash] = m.WireSize
+		sess.Send(MsgStoreOK{}, ServerOpOverhead)
+	case MsgStoreBatch:
+		s.StoreOps++
+		s.BatchOps++
+		perChunk := 0
+		if len(m.Refs) > 0 {
+			perChunk = m.WireSize / len(m.Refs)
+		}
+		for _, r := range m.Refs {
+			s.Meta.StoreChunk(r)
+			s.wireSize[r.Hash] = perChunk
+		}
+		sess.Send(MsgStoreOK{}, ServerOpOverhead)
+	case MsgRetrieve:
+		s.RetrieveOps++
+		size := s.Meta.ChunkSize(m.Hash)
+		w, ok := s.wireSize[m.Hash]
+		if !ok {
+			w = size
+		}
+		ref := chunker.Ref{Hash: m.Hash, Size: size}
+		sess.Send(MsgRetrieveData{Refs: []chunker.Ref{ref}, WireSize: w},
+			ServerOpOverhead+w)
+	case MsgRetrieveBatch:
+		s.RetrieveOps++
+		s.BatchOps++
+		total := 0
+		refs := make([]chunker.Ref, 0, len(m.Hashes))
+		for _, h := range m.Hashes {
+			size := s.Meta.ChunkSize(h)
+			w, ok := s.wireSize[h]
+			if !ok {
+				w = size
+			}
+			total += w
+			refs = append(refs, chunker.Ref{Hash: h, Size: size})
+		}
+		sess.Send(MsgRetrieveData{Refs: refs, WireSize: total}, ServerOpOverhead+total)
+	}
+}

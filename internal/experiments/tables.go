@@ -1,0 +1,224 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"insidedropbox/internal/analysis"
+	"insidedropbox/internal/classify"
+	"insidedropbox/internal/dnssim"
+	"insidedropbox/internal/workload"
+)
+
+// Table1 reproduces the service domain-name map (static: it documents the
+// simulated DNS layout and verifies classification coverage).
+func Table1() *Result {
+	res := newResult("table1", "Table 1: Domain names used by different Dropbox services")
+	tb := analysis.NewTable(res.Title, "sub-domain", "data-center", "description")
+	rows := []struct{ name, dc, desc string }{
+		{"client-lb/clientX", "Dropbox", "Meta-data"},
+		{"notifyX", "Dropbox", "Notifications"},
+		{"api", "Dropbox", "API control"},
+		{"www", "Dropbox", "Web servers"},
+		{"d", "Dropbox", "Event logs"},
+		{"dl", "Amazon", "Direct links"},
+		{"dl-clientX", "Amazon", "Client storage"},
+		{"dl-debugX", "Amazon", "Back-traces"},
+		{"dl-web", "Amazon", "Web storage"},
+		{"api-content", "Amazon", "API Storage"},
+	}
+	for _, r := range rows {
+		tb.AddRow(r.name, r.dc, r.desc)
+	}
+	res.addText(tb.String())
+	dir := dnssim.Build(dnssim.DefaultLayout())
+	res.Metrics["names"] = float64(len(dir.Names()))
+	res.Metrics["storage_names"] = float64(len(dir.StorageNames))
+	return res
+}
+
+// Table2 reproduces the datasets overview: per vantage point, access type,
+// distinct client addresses and total volume.
+func Table2(c *Campaign) *Result {
+	res := newResult("table2", "Table 2: Datasets overview")
+	tb := analysis.NewTable(res.Title, "name", "type", "IP addrs", "vol (GB)", "scale")
+	types := map[string]string{
+		"campus1": "Wired", "campus2": "Wired/Wireless",
+		"home1": "FTTH/ADSL", "home2": "ADSL",
+	}
+	c.perVP(func(ds *workload.Dataset) {
+		vol := ds.TotalVolume()
+		tb.AddRow(ds.Cfg.Name, types[ds.Cfg.Name], ds.Cfg.TotalIPs, fmtGB(vol),
+			fmt.Sprintf("%.2f", ds.Cfg.Scale))
+		res.Metrics["ips_"+ds.Cfg.Name] = float64(ds.Cfg.TotalIPs)
+		res.Metrics["gb_"+ds.Cfg.Name] = vol / 1e9
+	})
+	res.addText(tb.String())
+	return res
+}
+
+// Table3 reproduces total Dropbox traffic: flows, volume and devices per
+// vantage point.
+func Table3(c *Campaign) *Result {
+	res := newResult("table3", "Table 3: Total Dropbox traffic in the datasets")
+	tb := analysis.NewTable(res.Title, "name", "flows", "vol (GB)", "devices")
+	var totFlows, totDev int
+	var totVol float64
+	c.perVP(func(ds *workload.Dataset) {
+		recs := dropboxRecords(ds)
+		vol := 0.0
+		devices := make(map[uint64]bool)
+		for _, r := range recs {
+			vol += float64(r.BytesUp + r.BytesDown)
+			if r.NotifyHost != 0 {
+				devices[r.NotifyHost] = true
+			}
+		}
+		tb.AddRow(ds.Cfg.Name, len(recs), fmtGB(vol), len(devices))
+		res.Metrics["flows_"+ds.Cfg.Name] = float64(len(recs))
+		res.Metrics["gb_"+ds.Cfg.Name] = vol / 1e9
+		res.Metrics["devices_"+ds.Cfg.Name] = float64(len(devices))
+		totFlows += len(recs)
+		totVol += vol
+		totDev += len(devices)
+	})
+	tb.AddRow("total", totFlows, fmtGB(totVol), totDev)
+	res.Metrics["flows_total"] = float64(totFlows)
+	res.Metrics["gb_total"] = totVol / 1e9
+	res.Metrics["devices_total"] = float64(totDev)
+	res.addText(tb.String())
+	return res
+}
+
+// Table4 compares Campus 1 before (Mar/Apr, client 1.2.52, server IW 2)
+// and after (Jun/Jul, client 1.4.0, bundling + tuned IW) — the paper's
+// quantification of the bundling deployment.
+func Table4(seed int64, scale float64) *Result {
+	res := newResult("table4", "Table 4: Campus 1 before and after the bundling deployment")
+	before := workload.Generate(workload.Campus1(scale), seed+10)
+	after := workload.Generate(workload.Campus1JunJul(scale), seed+11)
+
+	type stats struct {
+		medSize, avgSize, medTp, avgTp map[classify.Direction]float64
+	}
+	collect := func(ds *workload.Dataset) stats {
+		sizes := map[classify.Direction][]float64{}
+		tps := map[classify.Direction][]float64{}
+		for _, r := range clientStorageRecords(ds) {
+			d := classify.TagStorage(r)
+			p := classify.Payload(r, d)
+			if p <= 0 {
+				continue
+			}
+			sizes[d] = append(sizes[d], float64(p))
+			tps[d] = append(tps[d], classify.Throughput(r, d))
+		}
+		s := stats{
+			medSize: map[classify.Direction]float64{}, avgSize: map[classify.Direction]float64{},
+			medTp: map[classify.Direction]float64{}, avgTp: map[classify.Direction]float64{},
+		}
+		for _, d := range []classify.Direction{classify.DirStore, classify.DirRetrieve} {
+			s.medSize[d] = analysis.Median(sizes[d])
+			s.avgSize[d] = analysis.Mean(sizes[d])
+			s.medTp[d] = analysis.Median(tps[d]) / 1e3
+			s.avgTp[d] = analysis.Mean(tps[d]) / 1e3
+		}
+		return s
+	}
+	b, a := collect(before), collect(after)
+	tb := analysis.NewTable(res.Title, "metric", "Mar/Apr median", "Mar/Apr avg", "Jun/Jul median", "Jun/Jul avg")
+	for _, d := range []classify.Direction{classify.DirStore, classify.DirRetrieve} {
+		tb.AddRow("flow size "+d.String()+" (kB)",
+			b.medSize[d]/1e3, b.avgSize[d]/1e3, a.medSize[d]/1e3, a.avgSize[d]/1e3)
+		tb.AddRow("throughput "+d.String()+" (kbit/s)",
+			b.medTp[d], b.avgTp[d], a.medTp[d], a.avgTp[d])
+		key := d.String()
+		res.Metrics["before_median_size_"+key] = b.medSize[d]
+		res.Metrics["after_median_size_"+key] = a.medSize[d]
+		res.Metrics["before_avg_tp_"+key] = b.avgTp[d] * 1e3
+		res.Metrics["after_avg_tp_"+key] = a.avgTp[d] * 1e3
+		res.Metrics["before_median_tp_"+key] = b.medTp[d] * 1e3
+		res.Metrics["after_median_tp_"+key] = a.medTp[d] * 1e3
+	}
+	res.addText(tb.String())
+	res.addText(fmt.Sprintf("\nretrieve avg throughput improvement: %.0f%% (paper: ≈65%%)\n",
+		100*(res.Metrics["after_avg_tp_retrieve"]/res.Metrics["before_avg_tp_retrieve"]-1)))
+	return res
+}
+
+// Table5 reproduces the user-group characterization of the home networks.
+func Table5(c *Campaign) *Result {
+	res := newResult("table5", "Table 5: User groups in Home 1 and Home 2")
+	for _, name := range []string{"home1", "home2"} {
+		ds := c.ByName(name)
+		if ds == nil {
+			continue
+		}
+		store, retr := householdVolumes(ds)
+		clients := dropboxClients(ds)
+		sessions := sessionsOf(ds)
+
+		sessByIP := make(map[string]int)
+		daysByIP := make(map[string]map[int]bool)
+		for _, s := range sessions {
+			ip := s.Client.String()
+			sessByIP[ip]++
+			if daysByIP[ip] == nil {
+				daysByIP[ip] = make(map[int]bool)
+			}
+			for d := int(s.Start / (24 * time.Hour)); d <= int(s.End/(24*time.Hour)); d++ {
+				daysByIP[ip][d] = true
+			}
+		}
+		devs := classify.DevicesPerIP(ds.Records)
+
+		type agg struct {
+			addr, sess    int
+			retr, store   float64
+			days, devices float64
+		}
+		groups := map[classify.UserGroup]*agg{}
+		for g := classify.GroupOccasional; g <= classify.GroupHeavy; g++ {
+			groups[g] = &agg{}
+		}
+		totalAddr, totalSess := 0, 0
+		for ip := range clients {
+			g := classify.GroupOf(store[ip], retr[ip])
+			a := groups[g]
+			a.addr++
+			a.sess += sessByIP[ip.String()]
+			a.retr += float64(retr[ip])
+			a.store += float64(store[ip])
+			a.days += float64(len(daysByIP[ip.String()]))
+			a.devices += float64(devs[ip])
+			totalAddr++
+			totalSess += sessByIP[ip.String()]
+		}
+		tb := analysis.NewTable(fmt.Sprintf("%s — %s", res.Title, name),
+			"group", "addr frac", "sess frac", "retr (GB)", "store (GB)", "avg days", "avg devices")
+		for g := classify.GroupOccasional; g <= classify.GroupHeavy; g++ {
+			a := groups[g]
+			if totalAddr == 0 {
+				continue
+			}
+			addrFrac := float64(a.addr) / float64(totalAddr)
+			sessFrac := 0.0
+			if totalSess > 0 {
+				sessFrac = float64(a.sess) / float64(totalSess)
+			}
+			avgDays, avgDev := 0.0, 0.0
+			if a.addr > 0 {
+				avgDays = a.days / float64(a.addr)
+				avgDev = a.devices / float64(a.addr)
+			}
+			tb.AddRow(g.String(), addrFrac, sessFrac, fmtGB(a.retr), fmtGB(a.store), avgDays, avgDev)
+			key := fmt.Sprintf("%s_%s", name, g.String())
+			res.Metrics[key+"_addr"] = addrFrac
+			res.Metrics[key+"_sess"] = sessFrac
+			res.Metrics[key+"_devices"] = avgDev
+		}
+		res.addText(tb.String())
+		res.addText("")
+	}
+	return res
+}

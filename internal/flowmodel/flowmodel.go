@@ -1,0 +1,266 @@
+// Package flowmodel is the calibrated flow-level model of Dropbox storage
+// flows: it synthesizes the flow records a probe would emit for a given
+// transfer without simulating packets, using the protocol constants of
+// Appendix A and a slow-start latency model following Dukkipati et al. [4]
+// (the θ bound of Fig. 9).
+//
+// The paper's authors did the same in reverse: they measured per-operation
+// overheads in a testbed and built flow-level models to interpret passive
+// traces. Here the packet-level path (tcpsim + tlssim + tstat) is the
+// ground truth, and property tests in this package's test suite verify that
+// synthesized flows agree with packet-simulated ones on bytes exactly and
+// on durations within a tolerance. Population-scale campaigns (42 days,
+// thousands of households) then use this fast path.
+package flowmodel
+
+import (
+	"time"
+
+	"insidedropbox/internal/classify"
+	"insidedropbox/internal/dropbox"
+	"insidedropbox/internal/simrand"
+	"insidedropbox/internal/tlssim"
+	"insidedropbox/internal/traces"
+	"insidedropbox/internal/wire"
+)
+
+// Params captures the path and protocol configuration of a vantage point.
+type Params struct {
+	// RTT is the probe-to-storage-server round trip.
+	RTT time.Duration
+	// Bandwidth is the bottleneck rate in bytes/second (min of access link
+	// and per-server ceiling; the paper observed ~10 Mbit/s maxima).
+	Bandwidth float64
+	// IW is the server's initial congestion window in segments: 2 before
+	// the 1.4.0 deployment (one extra handshake RTT), 3 after.
+	IW int
+	// ClientReaction / ServerReaction are median per-operation processing
+	// times (Sec. 4.4.2 attributes much of long-flow duration to them).
+	ClientReaction time.Duration
+	ServerReaction time.Duration
+	// Version selects per-chunk (1.2.52) or bundled (1.4.0) operations.
+	Version dropbox.Version
+}
+
+// DefaultParams matches the packet-level defaults for a campus client.
+func DefaultParams(rtt time.Duration) Params {
+	return Params{
+		RTT:            rtt,
+		Bandwidth:      1.25e6,
+		IW:             3,
+		ClientReaction: 70 * time.Millisecond,
+		ServerReaction: 45 * time.Millisecond,
+		Version:        dropbox.V1252,
+	}
+}
+
+// HandshakeRTTs returns the round trips before application data can flow:
+// 1 TCP + 2 TLS, plus one more when the server's initial window cannot
+// carry its 4031-byte first flight (IW=2, the pre-1.4.0 behaviour).
+func HandshakeRTTs(iw int) int {
+	if iw*wire.MSS >= 4031 {
+		return 3
+	}
+	return 4
+}
+
+// ThetaLatency is the minimum time to complete a transfer of the given
+// payload assuming the flow never leaves slow start: handshake round trips
+// plus one round per congestion-window doubling (computed as in Dukkipati
+// et al., adjusted for the SSL handshake overhead as the paper does).
+func ThetaLatency(payload int64, rtt time.Duration, iw int) time.Duration {
+	rounds := HandshakeRTTs(iw)
+	cwnd := int64(iw) * wire.MSS
+	remaining := payload
+	for remaining > 0 {
+		rounds++
+		remaining -= cwnd
+		cwnd *= 2
+	}
+	return time.Duration(rounds) * rtt
+}
+
+// Theta returns the slow-start throughput bound in bits/second for a
+// transfer of the given payload (the θ curve of Fig. 9).
+func Theta(payload int64, rtt time.Duration, iw int) float64 {
+	if payload <= 0 {
+		return 0
+	}
+	lat := ThetaLatency(payload, rtt, iw).Seconds()
+	if lat <= 0 {
+		return 0
+	}
+	return float64(payload) * 8 / lat
+}
+
+// StorageFlowSpec describes one storage flow to synthesize.
+type StorageFlowSpec struct {
+	Dir        classify.Direction
+	ChunkWires []int // compressed per-chunk transfer sizes
+	Start      time.Duration
+	// ServerClosesIdle marks the flow as ending via the server's 60 s
+	// idle close (alert + FIN answered by a client RST), the common case.
+	ServerClosesIdle bool
+}
+
+// op groups chunks into storage operations per the protocol version.
+type op struct {
+	wire int // payload bytes of the operation's data message (sum of chunks)
+}
+
+func groupOps(version dropbox.Version, chunks []int) []op {
+	if version == dropbox.V1252 {
+		ops := make([]op, len(chunks))
+		for i, c := range chunks {
+			ops[i] = op{wire: c}
+		}
+		return ops
+	}
+	var ops []op
+	cur := op{}
+	n := 0
+	for _, c := range chunks {
+		if n > 0 && cur.wire+c > dropbox.BundleTargetBytes {
+			ops = append(ops, cur)
+			cur, n = op{}, 0
+		}
+		cur.wire += c
+		n++
+		if c >= dropbox.BundleTargetBytes/4 {
+			ops = append(ops, cur)
+			cur, n = op{}, 0
+		}
+	}
+	if n > 0 {
+		ops = append(ops, cur)
+	}
+	return ops
+}
+
+// cwndModel tracks analytic slow-start growth across a flow.
+type cwndModel struct {
+	cwnd int64
+	cap  int64
+}
+
+func newCwnd(iw int) *cwndModel {
+	return &cwndModel{cwnd: int64(iw) * wire.MSS, cap: 1 << 20}
+}
+
+// transfer returns the time to move n bytes at the current window over a
+// path with the given RTT and bottleneck rate, advancing the window.
+func (c *cwndModel) transfer(n int64, rtt time.Duration, bw float64) time.Duration {
+	var t time.Duration
+	for n > 0 {
+		send := c.cwnd
+		if n < send {
+			send = n
+		}
+		round := rtt
+		if bw > 0 {
+			tx := time.Duration(float64(send) / bw * float64(time.Second))
+			if tx > round {
+				round = tx
+			}
+		}
+		t += round
+		n -= send
+		c.cwnd *= 2
+		if c.cwnd > c.cap {
+			c.cwnd = c.cap
+		}
+	}
+	return t
+}
+
+// Synthesize produces the flow record the probe would emit for the spec.
+// Byte counts follow the protocol constants exactly; durations follow the
+// slow-start model plus per-operation reaction times and the sequential
+// acknowledgment round trips.
+func Synthesize(rng *simrand.Source, p Params, spec StorageFlowSpec) *traces.FlowRecord {
+	ops := groupOps(p.Version, spec.ChunkWires)
+	hs := tlssim.DefaultHandshake()
+	rec := &traces.FlowRecord{
+		FirstPacket: spec.Start,
+		SawSYN:      true,
+		SNI:         "dl-client0.dropbox.com",
+		CertName:    "*.dropbox.com",
+		ServerPort:  443,
+	}
+
+	// --- byte accounting (exact) ---
+	up := int64(hs.ClientBytes())
+	down := int64(hs.ServerBytes())
+	pshUp, pshDown := 2, 2 // hello + finish in each direction
+	for _, o := range ops {
+		if spec.Dir == classify.DirStore {
+			up += int64(tlssim.MessageWireSize(dropbox.StoreClientOverhead + o.wire))
+			down += int64(tlssim.MessageWireSize(dropbox.ServerOpOverhead))
+			pshUp++   // data message
+			pshDown++ // OK
+		} else {
+			req := dropbox.RetrieveClientOverheadMin +
+				rng.Intn(dropbox.RetrieveClientOverheadMax-dropbox.RetrieveClientOverheadMin)
+			up += int64(tlssim.MessageWireSize(req))
+			down += int64(tlssim.MessageWireSize(dropbox.ServerOpOverhead + o.wire))
+			pshUp += 2 // request sent as two PSH writes (Fig. 19b)
+			pshDown++
+		}
+	}
+	if spec.ServerClosesIdle {
+		down += int64(wire.RecordHeaderLen + 2) // close-notify alert
+		pshDown++
+		rec.ServerClosed = true
+		rec.SawRST = true // client answers with RST
+	} else {
+		rec.SawFIN = true
+	}
+	rec.BytesUp, rec.BytesDown = up, down
+	rec.PSHUp, rec.PSHDown = pshUp, pshDown
+
+	// --- timing model ---
+	rtt := time.Duration(rng.Jitter(p.RTT, 0.01))
+	t := spec.Start + time.Duration(HandshakeRTTs(p.IW))*rtt
+	cw := newCwnd(p.IW)
+	var lastUp, lastDown time.Duration
+	lastUp = t - rtt/2 // client finish write
+	lastDown = t - rtt // server finish
+	for i, o := range ops {
+		if i > 0 {
+			t += time.Duration(rng.LogNormalMedian(float64(p.ClientReaction), 0.5))
+		}
+		srv := time.Duration(rng.LogNormalMedian(float64(p.ServerReaction), 0.5))
+		if spec.Dir == classify.DirStore {
+			dataT := cw.transfer(int64(dropbox.StoreClientOverhead+o.wire), rtt, p.Bandwidth)
+			t += dataT
+			lastUp = t - rtt/2 // last data segment passes the probe
+			t += srv           // server processes, then the OK returns
+			lastDown = t
+		} else {
+			t += rtt/2 + srv // request reaches server, processing
+			dataT := cw.transfer(int64(dropbox.ServerOpOverhead+o.wire), rtt, p.Bandwidth)
+			t += dataT
+			lastUp = t - dataT - srv // request segments
+			lastDown = t - rtt/2
+		}
+	}
+	rec.LastPayloadUp, rec.LastPayloadDown = lastUp, lastDown
+	rec.LastPacket = t
+	if spec.ServerClosesIdle {
+		alert := t + dropbox.StorageIdleTimeout
+		rec.LastPayloadDown = alert
+		rec.LastPacket = alert + rtt/2
+	}
+
+	// --- probe-side estimates ---
+	rec.MinRTT = rtt
+	upSegs := int(up/wire.MSS) + len(ops) + 2
+	rec.PktsUp = upSegs
+	rec.PktsDown = int(down/wire.MSS) + len(ops) + 2
+	samples := upSegs
+	if spec.Dir == classify.DirRetrieve {
+		samples = 2 + 2*len(ops)
+	}
+	rec.RTTSamples = samples
+	return rec
+}

@@ -1,0 +1,296 @@
+// Package netem emulates the network topology between clients and
+// data-centers: per-host access links (rate, delay), a core with
+// per-site-pair propagation delays, loss, and passive probe taps at the
+// border of monitored sites.
+//
+// The topology mirrors the measurement setup of the paper: the probe sits at
+// the border router of a campus or ISP Point of Presence, so captured
+// timestamps exclude the client's access segment (the paper's Sec. 4.2
+// filters access-technology effects the same way) while including the full
+// core path toward the U.S. data-centers.
+package netem
+
+import (
+	"fmt"
+	"time"
+
+	"insidedropbox/internal/simrand"
+	"insidedropbox/internal/simtime"
+	"insidedropbox/internal/wire"
+)
+
+// SiteID names a location: a vantage point ("campus1") or a data-center
+// ("dropbox-dc", "amazon-dc").
+type SiteID string
+
+// TapDir tells a probe which way a captured frame was traveling relative to
+// the monitored site.
+type TapDir uint8
+
+// Tap directions.
+const (
+	TapOutbound TapDir = iota // leaving the monitored site toward the core
+	TapInbound                // arriving from the core
+)
+
+func (d TapDir) String() string {
+	if d == TapOutbound {
+		return "out"
+	}
+	return "in"
+}
+
+// Tap receives every frame crossing a monitored site border, with the
+// capture timestamp. Implementations must not retain the frame past the
+// call unless they copy it.
+type Tap interface {
+	Capture(now simtime.Time, f *wire.Frame, dir TapDir)
+}
+
+// AccessProfile describes a host's access link.
+type AccessProfile struct {
+	UpRate   float64       // bytes/second toward the core; 0 = unlimited
+	DownRate float64       // bytes/second from the core; 0 = unlimited
+	Delay    time.Duration // one-way host <-> site border
+	Loss     float64       // per-packet loss probability on the access segment
+	// QueueBytes caps the drop-tail buffer ahead of each rate-limited
+	// direction; packets arriving with more than this backlog are dropped,
+	// bounding bufferbloat as a real access router does. Zero uses 256 kB.
+	QueueBytes int
+}
+
+// queueCap returns the effective drop-tail limit.
+func (a AccessProfile) queueCap() int {
+	if a.QueueBytes > 0 {
+		return a.QueueBytes
+	}
+	return 256 << 10
+}
+
+// Access profiles matching the technologies of Table 2.
+func WiredWorkstation() AccessProfile { // Campus 1: 100 Mb/s switched LAN
+	return AccessProfile{UpRate: 12.5e6, DownRate: 12.5e6, Delay: 200 * time.Microsecond}
+}
+func CampusWireless() AccessProfile { // Campus 2 APs: lossier, slower
+	return AccessProfile{UpRate: 2.5e6, DownRate: 2.5e6, Delay: 2 * time.Millisecond, Loss: 0.004}
+}
+func ADSL() AccessProfile { // Home: asymmetric, interleaving delay
+	return AccessProfile{UpRate: 128e3, DownRate: 1e6, Delay: 15 * time.Millisecond}
+}
+func FTTH() AccessProfile {
+	return AccessProfile{UpRate: 1.25e6, DownRate: 1.25e6, Delay: 2 * time.Millisecond}
+}
+func DataCenter() AccessProfile { // server farms: effectively unconstrained
+	return AccessProfile{UpRate: 0, DownRate: 0, Delay: 100 * time.Microsecond}
+}
+
+// Network is the emulated topology. Not safe for concurrent use; the whole
+// simulation is single-goroutine and driven by the scheduler.
+type Network struct {
+	Sched *simtime.Scheduler
+
+	rng       *simrand.Source
+	hosts     map[wire.IP]*Host
+	coreDelay map[[2]SiteID]time.Duration
+	coreLoss  float64
+	taps      map[SiteID][]Tap
+
+	// lastArrival preserves FIFO ordering per (src,dst) host pair even when
+	// per-packet jitter is applied.
+	lastArrival map[[2]wire.IP]simtime.Time
+
+	delivered uint64
+	dropped   uint64
+}
+
+// New creates an empty network on the scheduler.
+func New(sched *simtime.Scheduler, rng *simrand.Source) *Network {
+	return &Network{
+		Sched:       sched,
+		rng:         rng.Fork("netem"),
+		hosts:       make(map[wire.IP]*Host),
+		coreDelay:   make(map[[2]SiteID]time.Duration),
+		taps:        make(map[SiteID][]Tap),
+		lastArrival: make(map[[2]wire.IP]simtime.Time),
+	}
+}
+
+// SetCoreDelay sets the one-way propagation delay between two sites (both
+// directions).
+func (n *Network) SetCoreDelay(a, b SiteID, d time.Duration) {
+	n.coreDelay[[2]SiteID{a, b}] = d
+	n.coreDelay[[2]SiteID{b, a}] = d
+}
+
+// CoreDelay returns the configured one-way delay between sites, or a small
+// default when unset (hosts within the same site).
+func (n *Network) CoreDelay(a, b SiteID) time.Duration {
+	if a == b {
+		return 50 * time.Microsecond
+	}
+	if d, ok := n.coreDelay[[2]SiteID{a, b}]; ok {
+		return d
+	}
+	return 5 * time.Millisecond
+}
+
+// SetCoreLoss sets the per-packet loss probability in the core.
+func (n *Network) SetCoreLoss(p float64) { n.coreLoss = p }
+
+// AttachTap registers a probe at a site's border.
+func (n *Network) AttachTap(site SiteID, t Tap) {
+	n.taps[site] = append(n.taps[site], t)
+}
+
+// Stats returns delivered and dropped packet counts.
+func (n *Network) Stats() (delivered, dropped uint64) { return n.delivered, n.dropped }
+
+// Host is an attached endpoint. Receive is invoked for every delivered
+// frame; the TCP layer installs it.
+type Host struct {
+	IP      wire.IP
+	Site    SiteID
+	Access  AccessProfile
+	Receive func(now simtime.Time, f *wire.Frame)
+
+	net              *Network
+	upBusy, downBusy simtime.Time
+
+	// pathOffset is a deterministic per-destination extra delay emulating
+	// route diversity between this host and individual remote servers
+	// (Sec. 4.2.2 observes small per-route RTT steps).
+	pathOffset func(dst wire.IP) time.Duration
+}
+
+// AddHost attaches a host. IPs must be unique.
+func (n *Network) AddHost(ip wire.IP, site SiteID, access AccessProfile) *Host {
+	if _, dup := n.hosts[ip]; dup {
+		panic(fmt.Sprintf("netem: duplicate host %s", ip))
+	}
+	h := &Host{IP: ip, Site: site, Access: access, net: n}
+	n.hosts[ip] = h
+	return h
+}
+
+// Host returns the host with the given address, or nil.
+func (n *Network) Host(ip wire.IP) *Host { return n.hosts[ip] }
+
+// SetPathOffset installs a per-destination deterministic delay component.
+func (h *Host) SetPathOffset(fn func(dst wire.IP) time.Duration) { h.pathOffset = fn }
+
+// Send injects a frame originating at this host. Delivery is scheduled
+// through uplink serialization, the core, the destination's downlink, and
+// any probe taps along the way. The frame must not be mutated afterwards.
+func (h *Host) Send(f *wire.Frame) {
+	n := h.net
+	dst := n.hosts[f.IP.Dst]
+	if dst == nil {
+		n.dropped++
+		return
+	}
+	now := n.Sched.Now()
+
+	// Uplink serialization at the sender's access link, drop-tail bounded.
+	txStart := now
+	if h.upBusy > txStart {
+		if h.Access.UpRate > 0 {
+			backlog := float64(h.upBusy.Sub(now)) / float64(time.Second) * h.Access.UpRate
+			if int(backlog) > h.Access.queueCap() {
+				n.dropped++
+				return
+			}
+		}
+		txStart = h.upBusy
+	}
+	txDone := txStart.Add(transmissionDelay(f.WireLen(), h.Access.UpRate))
+	h.upBusy = txDone
+
+	// Loss on the sender's access segment happens before the probe sees the
+	// frame (an upload lost on campus WiFi never reaches the border).
+	if h.Access.Loss > 0 && n.rng.Bool(h.Access.Loss) {
+		n.dropped++
+		return
+	}
+
+	// Border of the source site: outbound tap.
+	srcBorder := txDone.Add(h.Access.Delay)
+	n.scheduleTaps(h.Site, srcBorder, f, TapOutbound)
+
+	// Core traversal.
+	if n.coreLoss > 0 && n.rng.Bool(n.coreLoss) {
+		n.dropped++
+		return
+	}
+	core := n.CoreDelay(h.Site, dst.Site)
+	if h.pathOffset != nil {
+		core += h.pathOffset(f.IP.Dst)
+	}
+	if dst.pathOffset != nil {
+		core += dst.pathOffset(f.IP.Src)
+	}
+	// Small queueing jitter, FIFO-clamped per host pair so TCP never sees
+	// spurious reordering from the emulator itself.
+	jitter := time.Duration(n.rng.Uniform(0, 0.002) * float64(core))
+	dstBorder := srcBorder.Add(core + jitter)
+	key := [2]wire.IP{f.IP.Src, f.IP.Dst}
+	if last := n.lastArrival[key]; dstBorder < last {
+		dstBorder = last
+	}
+	n.lastArrival[key] = dstBorder
+
+	// Border of the destination site: inbound tap.
+	n.scheduleTaps(dst.Site, dstBorder, f, TapInbound)
+
+	// Loss on the receiver's access segment happens after the probe: the
+	// probe counts the eventual retransmission as such.
+	if dst.Access.Loss > 0 && n.rng.Bool(dst.Access.Loss) {
+		n.dropped++
+		return
+	}
+
+	// Downlink serialization, drop-tail bounded, then delivery.
+	n.Sched.At(dstBorder, func() {
+		rxStart := n.Sched.Now()
+		if dst.downBusy > rxStart {
+			if dst.Access.DownRate > 0 {
+				backlog := float64(dst.downBusy.Sub(rxStart)) / float64(time.Second) * dst.Access.DownRate
+				if int(backlog) > dst.Access.queueCap() {
+					n.dropped++
+					return
+				}
+			}
+			rxStart = dst.downBusy
+		}
+		rxDone := rxStart.Add(transmissionDelay(f.WireLen(), dst.Access.DownRate))
+		dst.downBusy = rxDone
+		deliver := rxDone.Add(dst.Access.Delay)
+		n.Sched.At(deliver, func() {
+			n.delivered++
+			if dst.Receive != nil {
+				dst.Receive(n.Sched.Now(), f)
+			}
+		})
+	})
+}
+
+// scheduleTaps delivers the frame to every tap of the site at the given
+// instant.
+func (n *Network) scheduleTaps(site SiteID, at simtime.Time, f *wire.Frame, dir TapDir) {
+	taps := n.taps[site]
+	if len(taps) == 0 {
+		return
+	}
+	n.Sched.At(at, func() {
+		for _, t := range taps {
+			t.Capture(at, f, dir)
+		}
+	})
+}
+
+// transmissionDelay returns size/rate, or zero for unlimited links.
+func transmissionDelay(size int, rate float64) time.Duration {
+	if rate <= 0 {
+		return 0
+	}
+	return time.Duration(float64(size) / rate * float64(time.Second))
+}

@@ -1,0 +1,256 @@
+// Package simtime provides a deterministic discrete-event scheduler used by
+// every simulated subsystem in this repository.
+//
+// The simulator maintains a virtual clock that only advances when the next
+// scheduled event fires. Events scheduled for the same instant fire in the
+// order they were scheduled (FIFO), which makes runs bit-for-bit reproducible
+// regardless of host timing.
+package simtime
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is an absolute instant on the virtual clock, measured as a duration
+// since the simulation epoch. Using a duration (int64 nanoseconds) keeps
+// arithmetic exact and avoids any dependency on wall-clock time.
+type Time time.Duration
+
+// Duration re-exports time.Duration for callers that want to avoid importing
+// both packages.
+type Duration = time.Duration
+
+// Common durations re-exported for convenience.
+const (
+	Nanosecond  = time.Nanosecond
+	Microsecond = time.Microsecond
+	Millisecond = time.Millisecond
+	Second      = time.Second
+	Minute      = time.Minute
+	Hour        = time.Hour
+	Day         = 24 * time.Hour
+)
+
+// Add returns the instant d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds returns the instant as floating-point seconds since the epoch.
+func (t Time) Seconds() float64 { return time.Duration(t).Seconds() }
+
+// Duration converts the instant to the duration since the epoch.
+func (t Time) Duration() Duration { return Duration(t) }
+
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Event is a scheduled callback.
+type event struct {
+	at   Time
+	seq  uint64 // tie-breaker: schedule order
+	fn   func()
+	dead bool
+	idx  int // heap index, -1 when popped
+}
+
+// EventID identifies a scheduled event so it can be cancelled.
+type EventID struct{ ev *event }
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op. Returns true if the event was pending.
+func (id EventID) Cancel() bool {
+	if id.ev == nil || id.ev.dead {
+		return false
+	}
+	id.ev.dead = true
+	return true
+}
+
+// Pending reports whether the event is still scheduled to fire.
+func (id EventID) Pending() bool { return id.ev != nil && !id.ev.dead && id.ev.idx >= 0 }
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.idx = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.idx = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Scheduler owns the virtual clock and the pending-event queue. It is not
+// safe for concurrent use: simulations are single-goroutine by design so
+// results are deterministic.
+type Scheduler struct {
+	now     Time
+	queue   eventHeap
+	seq     uint64
+	running bool
+	fired   uint64
+}
+
+// NewScheduler returns a scheduler with the clock at the epoch.
+func NewScheduler() *Scheduler { return &Scheduler{} }
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Fired returns the number of events executed so far (useful for
+// instrumentation and budget checks in tests).
+func (s *Scheduler) Fired() uint64 { return s.fired }
+
+// Len returns the number of pending events.
+func (s *Scheduler) Len() int { return len(s.queue) }
+
+// At schedules fn to run at the absolute instant at. Scheduling in the past
+// panics: it always indicates a logic error in a discrete-event simulation.
+func (s *Scheduler) At(at Time, fn func()) EventID {
+	if at < s.now {
+		panic(fmt.Sprintf("simtime: scheduling event at %v before now %v", at, s.now))
+	}
+	if fn == nil {
+		panic("simtime: nil event callback")
+	}
+	ev := &event{at: at, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, ev)
+	return EventID{ev}
+}
+
+// After schedules fn to run d from now. Negative d is clamped to zero.
+func (s *Scheduler) After(d Duration, fn func()) EventID {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now.Add(d), fn)
+}
+
+// Step fires the next pending event, advancing the clock to its deadline.
+// It returns false when the queue is empty.
+func (s *Scheduler) Step() bool {
+	for len(s.queue) > 0 {
+		ev := heap.Pop(&s.queue).(*event)
+		if ev.dead {
+			continue
+		}
+		s.now = ev.at
+		s.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue drains.
+func (s *Scheduler) Run() {
+	s.running = true
+	defer func() { s.running = false }()
+	for s.Step() {
+	}
+}
+
+// RunUntil fires events with deadlines at or before limit, then advances the
+// clock to limit. Events scheduled beyond limit remain queued.
+func (s *Scheduler) RunUntil(limit Time) {
+	s.running = true
+	defer func() { s.running = false }()
+	for len(s.queue) > 0 {
+		// Peek without popping dead events permanently out of order.
+		next := s.peek()
+		if next == nil {
+			break
+		}
+		if next.at > limit {
+			break
+		}
+		s.Step()
+	}
+	if s.now < limit {
+		s.now = limit
+	}
+}
+
+// RunFor advances the simulation by d virtual time.
+func (s *Scheduler) RunFor(d Duration) { s.RunUntil(s.now.Add(d)) }
+
+func (s *Scheduler) peek() *event {
+	for len(s.queue) > 0 {
+		ev := s.queue[0]
+		if !ev.dead {
+			return ev
+		}
+		heap.Pop(&s.queue)
+	}
+	return nil
+}
+
+// NextDeadline returns the deadline of the next live event and true, or zero
+// time and false when the queue is empty.
+func (s *Scheduler) NextDeadline() (Time, bool) {
+	ev := s.peek()
+	if ev == nil {
+		return 0, false
+	}
+	return ev.at, true
+}
+
+// Ticker repeatedly invokes fn every period until cancelled. The first tick
+// fires one period from now.
+type Ticker struct {
+	s      *Scheduler
+	period Duration
+	fn     func(Time)
+	id     EventID
+	stop   bool
+}
+
+// NewTicker starts a ticker on the scheduler. period must be positive.
+func (s *Scheduler) NewTicker(period Duration, fn func(Time)) *Ticker {
+	if period <= 0 {
+		panic("simtime: ticker period must be positive")
+	}
+	t := &Ticker{s: s, period: period, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.id = t.s.After(t.period, func() {
+		if t.stop {
+			return
+		}
+		t.fn(t.s.Now())
+		if !t.stop {
+			t.arm()
+		}
+	})
+}
+
+// Stop cancels the ticker. Safe to call multiple times.
+func (t *Ticker) Stop() {
+	t.stop = true
+	t.id.Cancel()
+}

@@ -1,0 +1,199 @@
+package simtime
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSchedulerOrdering(t *testing.T) {
+	s := NewScheduler()
+	var got []int
+	s.At(Time(30*Millisecond), func() { got = append(got, 3) })
+	s.At(Time(10*Millisecond), func() { got = append(got, 1) })
+	s.At(Time(20*Millisecond), func() { got = append(got, 2) })
+	s.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if s.Now() != Time(30*Millisecond) {
+		t.Fatalf("clock = %v, want 30ms", s.Now())
+	}
+}
+
+func TestSchedulerFIFOAtSameInstant(t *testing.T) {
+	s := NewScheduler()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(Time(Second), func() { got = append(got, i) })
+	}
+	s.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-instant events fired out of order: %v", got)
+		}
+	}
+}
+
+func TestSchedulerAfterAndNesting(t *testing.T) {
+	s := NewScheduler()
+	var at2 Time
+	s.After(Second, func() {
+		s.After(2*Second, func() { at2 = s.Now() })
+	})
+	s.Run()
+	if want := Time(3 * Second); at2 != want {
+		t.Fatalf("nested event fired at %v, want %v", at2, want)
+	}
+}
+
+func TestSchedulerPastPanics(t *testing.T) {
+	s := NewScheduler()
+	s.At(Time(Second), func() {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past should panic")
+		}
+	}()
+	s.At(Time(Millisecond), func() {})
+}
+
+func TestCancel(t *testing.T) {
+	s := NewScheduler()
+	fired := false
+	id := s.After(Second, func() { fired = true })
+	if !id.Pending() {
+		t.Fatal("event should be pending")
+	}
+	if !id.Cancel() {
+		t.Fatal("first cancel should report true")
+	}
+	if id.Cancel() {
+		t.Fatal("second cancel should report false")
+	}
+	s.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := NewScheduler()
+	var fired []Time
+	for i := 1; i <= 5; i++ {
+		d := Duration(i) * Second
+		s.After(d, func() { fired = append(fired, s.Now()) })
+	}
+	s.RunUntil(Time(3 * Second))
+	if len(fired) != 3 {
+		t.Fatalf("fired %d events, want 3", len(fired))
+	}
+	if s.Now() != Time(3*Second) {
+		t.Fatalf("clock = %v, want 3s", s.Now())
+	}
+	s.Run()
+	if len(fired) != 5 {
+		t.Fatalf("fired %d events total, want 5", len(fired))
+	}
+}
+
+func TestRunForAdvancesIdleClock(t *testing.T) {
+	s := NewScheduler()
+	s.RunFor(time.Minute)
+	if s.Now() != Time(Minute) {
+		t.Fatalf("clock = %v, want 1m", s.Now())
+	}
+}
+
+func TestTicker(t *testing.T) {
+	s := NewScheduler()
+	var ticks []Time
+	tk := s.NewTicker(10*Second, func(now Time) {
+		ticks = append(ticks, now)
+		if len(ticks) == 3 {
+			// Stop from inside the callback.
+		}
+	})
+	s.RunUntil(Time(35 * Second))
+	tk.Stop()
+	s.Run()
+	if len(ticks) != 3 {
+		t.Fatalf("got %d ticks, want 3 (at 10s,20s,30s): %v", len(ticks), ticks)
+	}
+	for i, want := range []Time{Time(10 * Second), Time(20 * Second), Time(30 * Second)} {
+		if ticks[i] != want {
+			t.Fatalf("tick %d at %v, want %v", i, ticks[i], want)
+		}
+	}
+}
+
+func TestTickerStopInsideCallback(t *testing.T) {
+	s := NewScheduler()
+	n := 0
+	var tk *Ticker
+	tk = s.NewTicker(Second, func(Time) {
+		n++
+		if n == 2 {
+			tk.Stop()
+		}
+	})
+	s.Run()
+	if n != 2 {
+		t.Fatalf("ticker fired %d times, want 2", n)
+	}
+}
+
+func TestNextDeadline(t *testing.T) {
+	s := NewScheduler()
+	if _, ok := s.NextDeadline(); ok {
+		t.Fatal("empty scheduler should have no deadline")
+	}
+	id := s.After(5*Second, func() {})
+	s.After(9*Second, func() {})
+	if d, ok := s.NextDeadline(); !ok || d != Time(5*Second) {
+		t.Fatalf("deadline = %v,%v want 5s,true", d, ok)
+	}
+	id.Cancel()
+	if d, ok := s.NextDeadline(); !ok || d != Time(9*Second) {
+		t.Fatalf("deadline after cancel = %v,%v want 9s,true", d, ok)
+	}
+}
+
+func TestFiredCounter(t *testing.T) {
+	s := NewScheduler()
+	for i := 0; i < 7; i++ {
+		s.After(Duration(i)*Millisecond, func() {})
+	}
+	s.Run()
+	if s.Fired() != 7 {
+		t.Fatalf("fired = %d, want 7", s.Fired())
+	}
+}
+
+func BenchmarkSchedulerChain(b *testing.B) {
+	s := NewScheduler()
+	var step func()
+	n := 0
+	step = func() {
+		n++
+		if n < b.N {
+			s.After(Microsecond, step)
+		}
+	}
+	b.ResetTimer()
+	s.After(Microsecond, step)
+	s.Run()
+}
+
+func BenchmarkSchedulerFanOut(b *testing.B) {
+	s := NewScheduler()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.After(Duration(i%1000)*Microsecond, func() {})
+	}
+	s.Run()
+}

@@ -1,0 +1,220 @@
+// Package traces defines the flow-record schema the probe exports and the
+// anonymized CSV serialization, mirroring the public release of the paper's
+// measurements (traces.simpleweb.org/dropbox): one row per TCP flow with
+// byte/packet/PSH counters, RTT estimates and DPI labels, and client
+// addresses anonymized.
+package traces
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"insidedropbox/internal/wire"
+)
+
+// FlowRecord is one monitored TCP flow, as exported by the probe. "Up" is
+// the client-to-server direction (outbound from the monitored site).
+type FlowRecord struct {
+	VP                     string // vantage point name
+	Client                 wire.IP
+	Server                 wire.IP
+	ClientPort, ServerPort uint16
+
+	// Times are offsets from the campaign start.
+	FirstPacket time.Duration
+	LastPacket  time.Duration
+	// Last payload-carrying packet per direction (Appendix A.4 duration
+	// accounting).
+	LastPayloadUp   time.Duration
+	LastPayloadDown time.Duration
+
+	BytesUp, BytesDown     int64 // TCP payload bytes
+	PktsUp, PktsDown       int
+	PSHUp, PSHDown         int
+	RetransUp, RetransDown int
+
+	// MinRTT is the minimum probe<->server round trip (external RTT);
+	// RTTSamples counts valid samples (the paper uses flows with >= 10).
+	MinRTT     time.Duration
+	RTTSamples int
+
+	// DPI labels.
+	SNI      string // TLS server name from the ClientHello
+	CertName string // certificate common name (e.g. *.dropbox.com)
+	FQDN     string // DNS name the client resolved for the server IP
+
+	// Notification-protocol extraction (cleartext flows only).
+	NotifyHost       uint64
+	NotifyNamespaces []uint32
+
+	SawSYN, SawFIN, SawRST bool
+	// ServerClosed reports the server sent the first FIN (passive close of
+	// storage flows; chunk-count estimation depends on it, Appendix A.3).
+	ServerClosed bool
+}
+
+// Duration returns the flow duration from first packet to last packet.
+func (r *FlowRecord) Duration() time.Duration { return r.LastPacket - r.FirstPacket }
+
+// csvHeader lists the exported columns, in order.
+var csvHeader = []string{
+	"vp", "client", "server", "cport", "sport",
+	"first", "last", "last_payload_up", "last_payload_down",
+	"bytes_up", "bytes_down", "pkts_up", "pkts_down",
+	"psh_up", "psh_down", "retr_up", "retr_down",
+	"min_rtt_us", "rtt_samples",
+	"sni", "cert", "fqdn",
+	"notify_host", "notify_ns",
+	"syn", "fin", "rst", "server_closed",
+}
+
+// Writer streams flow records as CSV.
+type Writer struct {
+	cw *csv.Writer
+	// Anonymize replaces client addresses with stable opaque tokens, as the
+	// public traces do.
+	Anonymize   bool
+	wroteHeader bool
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer { return &Writer{cw: csv.NewWriter(w)} }
+
+// anonIP produces a stable anonymous token for an address.
+func anonIP(ip wire.IP) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "anon-%d", uint32(ip))
+	return fmt.Sprintf("h%012x", h.Sum64()&0xffffffffffff)
+}
+
+// Write emits one record.
+func (w *Writer) Write(r *FlowRecord) error {
+	if !w.wroteHeader {
+		if err := w.cw.Write(csvHeader); err != nil {
+			return err
+		}
+		w.wroteHeader = true
+	}
+	client := r.Client.String()
+	if w.Anonymize {
+		client = anonIP(r.Client)
+	}
+	ns := make([]string, len(r.NotifyNamespaces))
+	for i, n := range r.NotifyNamespaces {
+		ns[i] = strconv.FormatUint(uint64(n), 10)
+	}
+	row := []string{
+		r.VP, client, r.Server.String(),
+		strconv.Itoa(int(r.ClientPort)), strconv.Itoa(int(r.ServerPort)),
+		strconv.FormatInt(int64(r.FirstPacket), 10),
+		strconv.FormatInt(int64(r.LastPacket), 10),
+		strconv.FormatInt(int64(r.LastPayloadUp), 10),
+		strconv.FormatInt(int64(r.LastPayloadDown), 10),
+		strconv.FormatInt(r.BytesUp, 10), strconv.FormatInt(r.BytesDown, 10),
+		strconv.Itoa(r.PktsUp), strconv.Itoa(r.PktsDown),
+		strconv.Itoa(r.PSHUp), strconv.Itoa(r.PSHDown),
+		strconv.Itoa(r.RetransUp), strconv.Itoa(r.RetransDown),
+		strconv.FormatInt(r.MinRTT.Microseconds(), 10),
+		strconv.Itoa(r.RTTSamples),
+		r.SNI, r.CertName, r.FQDN,
+		strconv.FormatUint(r.NotifyHost, 10), strings.Join(ns, ";"),
+		boolStr(r.SawSYN), boolStr(r.SawFIN), boolStr(r.SawRST), boolStr(r.ServerClosed),
+	}
+	return w.cw.Write(row)
+}
+
+// Flush finishes the stream.
+func (w *Writer) Flush() error {
+	w.cw.Flush()
+	return w.cw.Error()
+}
+
+func boolStr(b bool) string {
+	if b {
+		return "1"
+	}
+	return "0"
+}
+
+// Reader parses flow-record CSV back into records. Anonymized client
+// columns parse to 0.0.0.0 with the token preserved in ClientToken.
+type Reader struct {
+	cr     *csv.Reader
+	header bool
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader {
+	cr := csv.NewReader(bufio.NewReader(r))
+	cr.FieldsPerRecord = len(csvHeader)
+	return &Reader{cr: cr}
+}
+
+// Read returns the next record, or io.EOF.
+func (r *Reader) Read() (*FlowRecord, error) {
+	if !r.header {
+		if _, err := r.cr.Read(); err != nil {
+			return nil, err
+		}
+		r.header = true
+	}
+	row, err := r.cr.Read()
+	if err != nil {
+		return nil, err
+	}
+	rec := &FlowRecord{VP: row[0]}
+	rec.Client = parseIP(row[1])
+	rec.Server = parseIP(row[2])
+	rec.ClientPort = uint16(atoi(row[3]))
+	rec.ServerPort = uint16(atoi(row[4]))
+	rec.FirstPacket = time.Duration(atoi64(row[5]))
+	rec.LastPacket = time.Duration(atoi64(row[6]))
+	rec.LastPayloadUp = time.Duration(atoi64(row[7]))
+	rec.LastPayloadDown = time.Duration(atoi64(row[8]))
+	rec.BytesUp = atoi64(row[9])
+	rec.BytesDown = atoi64(row[10])
+	rec.PktsUp = atoi(row[11])
+	rec.PktsDown = atoi(row[12])
+	rec.PSHUp = atoi(row[13])
+	rec.PSHDown = atoi(row[14])
+	rec.RetransUp = atoi(row[15])
+	rec.RetransDown = atoi(row[16])
+	rec.MinRTT = time.Duration(atoi64(row[17])) * time.Microsecond
+	rec.RTTSamples = atoi(row[18])
+	rec.SNI, rec.CertName, rec.FQDN = row[19], row[20], row[21]
+	rec.NotifyHost = uint64(atoi64(row[22]))
+	if row[23] != "" {
+		for _, part := range strings.Split(row[23], ";") {
+			rec.NotifyNamespaces = append(rec.NotifyNamespaces, uint32(atoi64(part)))
+		}
+	}
+	rec.SawSYN = row[24] == "1"
+	rec.SawFIN = row[25] == "1"
+	rec.SawRST = row[26] == "1"
+	rec.ServerClosed = row[27] == "1"
+	return rec, nil
+}
+
+func parseIP(s string) wire.IP {
+	var a, b, c, d byte
+	if _, err := fmt.Sscanf(s, "%d.%d.%d.%d", &a, &b, &c, &d); err != nil {
+		return 0 // anonymized token
+	}
+	return wire.MakeIP(a, b, c, d)
+}
+
+func atoi(s string) int {
+	v, _ := strconv.Atoi(s)
+	return v
+}
+
+func atoi64(s string) int64 {
+	v, _ := strconv.ParseInt(s, 10, 64)
+	return v
+}

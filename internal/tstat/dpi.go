@@ -1,0 +1,54 @@
+package tstat
+
+import (
+	"strconv"
+	"strings"
+)
+
+// NotifyInfo is what the probe extracts from a cleartext notification
+// request: the device identifier (host_int) and the namespace list —
+// Sec. 2.3.1: "Devices and number of shared folders can be identified in
+// network traces by passively watching notification flows."
+type NotifyInfo struct {
+	Host       uint64
+	Namespaces []uint32
+}
+
+// ParseNotify dissects a captured notification request. The probe carries
+// its own dissector (as Tstat did); the format knowledge mirrors what the
+// authors reverse-engineered in their testbed.
+func ParseNotify(data []byte) (NotifyInfo, bool) {
+	s := string(data)
+	const pfx = "GET /subscribe?host_int="
+	i := strings.Index(s, pfx)
+	if i < 0 {
+		return NotifyInfo{}, false
+	}
+	s = s[i+len(pfx):]
+	amp := strings.Index(s, "&ns_map=")
+	if amp < 0 {
+		return NotifyInfo{}, false
+	}
+	host, err := strconv.ParseUint(s[:amp], 10, 64)
+	if err != nil {
+		return NotifyInfo{}, false
+	}
+	rest := s[amp+len("&ns_map="):]
+	sp := strings.IndexByte(rest, ' ')
+	if sp < 0 {
+		return NotifyInfo{}, false
+	}
+	info := NotifyInfo{Host: host}
+	for _, part := range strings.Split(rest[:sp], ",") {
+		if part == "" {
+			continue
+		}
+		idStr, _, _ := strings.Cut(part, "_")
+		id, err := strconv.ParseUint(idStr, 10, 32)
+		if err != nil {
+			return NotifyInfo{}, false
+		}
+		info.Namespaces = append(info.Namespaces, uint32(id))
+	}
+	return info, true
+}

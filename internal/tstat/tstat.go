@@ -1,0 +1,332 @@
+// Package tstat implements the passive probe of the measurement setup: a
+// Tstat-like flow monitor attached to the border of a vantage point.
+//
+// From the packet stream it reconstructs per-flow records with the metrics
+// the paper relies on (Sec. 3.1): payload bytes per direction, packet and
+// PSH-flag counts, retransmissions, the minimum probe-to-server RTT from
+// sequence/acknowledgment matching, TLS server-name and certificate
+// extraction by classic DPI, cleartext notification-protocol parsing
+// (device identifiers and namespace lists), and DNS-based FQDN labeling of
+// server addresses.
+package tstat
+
+import (
+	"time"
+
+	"insidedropbox/internal/dnssim"
+	"insidedropbox/internal/netem"
+	"insidedropbox/internal/simtime"
+	"insidedropbox/internal/traces"
+	"insidedropbox/internal/wire"
+)
+
+// Config tunes a probe.
+type Config struct {
+	// VP names the vantage point in exported records.
+	VP string
+	// HasDNS enables FQDN labeling. Campus 2's probe could not see DNS
+	// traffic (Sec. 3.2), which disables per-service FQDN breakdowns there.
+	HasDNS bool
+	// DPIBudget caps the payload bytes buffered per direction for DPI.
+	DPIBudget int
+	// IdleTimeout finalizes flows with no traffic for this long.
+	IdleTimeout time.Duration
+	// SweepEvery sets the idle-scan cadence.
+	SweepEvery time.Duration
+}
+
+// DefaultConfig returns the standard probe settings.
+func DefaultConfig(vp string) Config {
+	return Config{VP: vp, HasDNS: true, DPIBudget: 4096,
+		IdleTimeout: 5 * time.Minute, SweepEvery: 30 * time.Second}
+}
+
+// Probe is a passive flow monitor. Attach it to a netem site with
+// Network.AttachTap and feed DNS events via ObserveDNS.
+type Probe struct {
+	cfg   Config
+	sched *simtime.Scheduler
+
+	// OnRecord receives each finalized flow record.
+	OnRecord func(*traces.FlowRecord)
+
+	flows map[wire.FlowKey]*flowState
+	fqdn  map[wire.IP]string
+	// tombstones swallow straggler packets of flows just finalized by a
+	// RST, so in-flight segments do not spawn ghost flows.
+	tombstones map[wire.FlowKey]simtime.Time
+
+	captured uint64
+}
+
+// New builds a probe and starts its idle sweeper.
+func New(sched *simtime.Scheduler, cfg Config) *Probe {
+	p := &Probe{
+		cfg:        cfg,
+		sched:      sched,
+		flows:      make(map[wire.FlowKey]*flowState),
+		fqdn:       make(map[wire.IP]string),
+		tombstones: make(map[wire.FlowKey]simtime.Time),
+	}
+	sched.NewTicker(cfg.SweepEvery, func(now simtime.Time) { p.sweep(now) })
+	return p
+}
+
+// Captured returns the number of frames the probe has seen.
+func (p *Probe) Captured() uint64 { return p.captured }
+
+// ActiveFlows returns the number of flows currently tracked.
+func (p *Probe) ActiveFlows() int { return len(p.flows) }
+
+// ObserveDNS records a resolution so later flows to the server IP can be
+// labeled with the requested FQDN. Plug into dnssim.Resolver.Log.
+func (p *Probe) ObserveDNS(e dnssim.Event) {
+	if p.cfg.HasDNS {
+		p.fqdn[e.Server] = e.FQDN
+	}
+}
+
+// pendingSample is an outbound segment awaiting its acknowledgment.
+type pendingSample struct {
+	wantAck uint32
+	at      simtime.Time
+}
+
+type flowState struct {
+	rec traces.FlowRecord
+
+	upInit, downInit       bool
+	maxSeqEndUp            uint32
+	maxSeqEndDown          uint32
+	pending                []pendingSample // outbound segments awaiting acks
+	upDPI, downDPI         []byte
+	upDPIDone, downDPIDone bool
+	notifyDone             bool
+	finUp, finDown         bool
+	lastActivity           simtime.Time
+	minRTT                 time.Duration
+	rttSamples             int
+}
+
+// seqAfter reports whether a comes strictly after b in sequence space.
+func seqAfter(a, b uint32) bool { return int32(a-b) > 0 }
+
+// Capture implements netem.Tap.
+func (p *Probe) Capture(now simtime.Time, f *wire.Frame, dir netem.TapDir) {
+	p.captured++
+	key, _ := wire.Canonical(f)
+	fs := p.flows[key]
+	if fs == nil {
+		if t, dead := p.tombstones[key]; dead {
+			if now.Sub(t) < 30*time.Second {
+				return // straggler of a reset flow
+			}
+			delete(p.tombstones, key)
+		}
+	}
+	if fs == nil {
+		fs = &flowState{minRTT: -1}
+		fs.rec.VP = p.cfg.VP
+		fs.rec.FirstPacket = now.Duration()
+		// The client is the endpoint inside the monitored site.
+		if dir == netem.TapOutbound {
+			fs.rec.Client, fs.rec.ClientPort = f.IP.Src, f.TCP.SrcPort
+			fs.rec.Server, fs.rec.ServerPort = f.IP.Dst, f.TCP.DstPort
+		} else {
+			fs.rec.Client, fs.rec.ClientPort = f.IP.Dst, f.TCP.DstPort
+			fs.rec.Server, fs.rec.ServerPort = f.IP.Src, f.TCP.SrcPort
+		}
+		p.flows[key] = fs
+	}
+	fs.rec.LastPacket = now.Duration()
+	fs.lastActivity = now
+
+	up := dir == netem.TapOutbound
+	flags := f.TCP.Flags
+	if flags.Has(wire.FlagSYN) {
+		fs.rec.SawSYN = true
+	}
+	if flags.Has(wire.FlagRST) {
+		fs.rec.SawRST = true
+		p.tombstones[key] = now
+		p.finalize(key, fs)
+		return
+	}
+	if flags.Has(wire.FlagFIN) {
+		fs.rec.SawFIN = true
+		if up {
+			fs.finUp = true
+		} else {
+			fs.finDown = true
+			if !fs.finUp {
+				fs.rec.ServerClosed = true
+			}
+		}
+	}
+
+	if up {
+		p.accountUp(now, fs, f)
+		if ack := flags.Has(wire.FlagACK); ack {
+			// Client acks tell us nothing about the external path.
+			_ = ack
+		}
+	} else {
+		p.accountDown(now, fs, f)
+		if flags.Has(wire.FlagACK) {
+			p.sampleRTT(now, fs, f.TCP.Ack)
+		}
+	}
+
+	if fs.finUp && fs.finDown {
+		p.finalize(key, fs)
+	}
+}
+
+func (p *Probe) accountUp(now simtime.Time, fs *flowState, f *wire.Frame) {
+	fs.rec.PktsUp++
+	consumed := uint32(f.PayloadLen)
+	if f.TCP.Flags.Has(wire.FlagSYN) || f.TCP.Flags.Has(wire.FlagFIN) {
+		consumed++
+	}
+	seqEnd := f.TCP.Seq + consumed
+	isRetrans := false
+	if f.PayloadLen > 0 {
+		if !fs.upInit || seqAfter(seqEnd, fs.maxSeqEndUp) {
+			newBytes := f.PayloadLen
+			if fs.upInit {
+				if delta := int(seqEnd - fs.maxSeqEndUp); delta < newBytes {
+					newBytes = delta // partial overlap
+				}
+			}
+			fs.rec.BytesUp += int64(newBytes)
+			fs.maxSeqEndUp = seqEnd
+			fs.upInit = true
+		} else {
+			isRetrans = true
+			fs.rec.RetransUp++
+		}
+		fs.rec.LastPayloadUp = now.Duration()
+		if f.TCP.Flags.Has(wire.FlagPSH) {
+			fs.rec.PSHUp++
+		}
+		if !fs.upDPIDone && len(fs.upDPI) < p.cfg.DPIBudget {
+			fs.upDPI = append(fs.upDPI, f.Payload...)
+		}
+	} else if f.TCP.Flags.Has(wire.FlagSYN) && !fs.upInit {
+		fs.maxSeqEndUp = seqEnd
+		fs.upInit = true
+	}
+
+	// Queue an RTT probe: the time until the server acknowledges this
+	// segment is the probe->server round trip (Karn: skip retransmits and
+	// cancel samples they invalidate).
+	if consumed > 0 {
+		if isRetrans {
+			for i := range fs.pending {
+				if fs.pending[i].wantAck == seqEnd {
+					fs.pending = append(fs.pending[:i], fs.pending[i+1:]...)
+					break
+				}
+			}
+		} else if len(fs.pending) < 32 {
+			fs.pending = append(fs.pending, pendingSample{wantAck: seqEnd, at: now})
+		}
+	}
+}
+
+func (p *Probe) accountDown(now simtime.Time, fs *flowState, f *wire.Frame) {
+	fs.rec.PktsDown++
+	consumed := uint32(f.PayloadLen)
+	if f.TCP.Flags.Has(wire.FlagSYN) || f.TCP.Flags.Has(wire.FlagFIN) {
+		consumed++
+	}
+	seqEnd := f.TCP.Seq + consumed
+	if f.PayloadLen > 0 {
+		if !fs.downInit || seqAfter(seqEnd, fs.maxSeqEndDown) {
+			newBytes := f.PayloadLen
+			if fs.downInit {
+				if delta := int(seqEnd - fs.maxSeqEndDown); delta < newBytes {
+					newBytes = delta
+				}
+			}
+			fs.rec.BytesDown += int64(newBytes)
+			fs.maxSeqEndDown = seqEnd
+			fs.downInit = true
+		} else {
+			fs.rec.RetransDown++
+		}
+		fs.rec.LastPayloadDown = now.Duration()
+		if f.TCP.Flags.Has(wire.FlagPSH) {
+			fs.rec.PSHDown++
+		}
+		if !fs.downDPIDone && len(fs.downDPI) < p.cfg.DPIBudget {
+			fs.downDPI = append(fs.downDPI, f.Payload...)
+		}
+	} else if f.TCP.Flags.Has(wire.FlagSYN) && !fs.downInit {
+		fs.maxSeqEndDown = seqEnd
+		fs.downInit = true
+	}
+}
+
+// sampleRTT matches an inbound acknowledgment against outbound segments.
+func (p *Probe) sampleRTT(now simtime.Time, fs *flowState, ack uint32) {
+	kept := fs.pending[:0]
+	for _, ps := range fs.pending {
+		if int32(ack-ps.wantAck) >= 0 {
+			rtt := now.Sub(ps.at)
+			if rtt > 0 {
+				if fs.minRTT < 0 || rtt < fs.minRTT {
+					fs.minRTT = rtt
+				}
+				fs.rttSamples++
+			}
+		} else {
+			kept = append(kept, ps)
+		}
+	}
+	fs.pending = kept
+}
+
+// sweep finalizes idle flows.
+func (p *Probe) sweep(now simtime.Time) {
+	for key, fs := range p.flows {
+		if now.Sub(fs.lastActivity) >= p.cfg.IdleTimeout {
+			p.finalize(key, fs)
+		}
+	}
+}
+
+// FlushAll finalizes every tracked flow (campaign end).
+func (p *Probe) FlushAll() {
+	for key, fs := range p.flows {
+		p.finalize(key, fs)
+	}
+}
+
+func (p *Probe) finalize(key wire.FlowKey, fs *flowState) {
+	delete(p.flows, key)
+	rec := &fs.rec
+	if fs.minRTT > 0 {
+		rec.MinRTT = fs.minRTT
+		rec.RTTSamples = fs.rttSamples
+	}
+	// DPI extraction over the buffered prefixes.
+	if sni, ok := wire.ExtractSNI(fs.upDPI); ok {
+		rec.SNI = sni
+	}
+	if cn, ok := wire.ExtractCertName(fs.downDPI); ok {
+		rec.CertName = cn
+	}
+	if rec.ServerPort == 80 {
+		if req, ok := ParseNotify(fs.upDPI); ok {
+			rec.NotifyHost = req.Host
+			rec.NotifyNamespaces = req.Namespaces
+		}
+	}
+	if p.cfg.HasDNS {
+		rec.FQDN = p.fqdn[rec.Server]
+	}
+	if p.OnRecord != nil {
+		p.OnRecord(rec)
+	}
+}

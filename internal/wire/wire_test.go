@@ -1,0 +1,305 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func sampleFrame() *Frame {
+	return &Frame{
+		IP: IPv4Header{
+			TOS: 0, ID: 4242, TTL: 64, Protocol: ProtocolTCP,
+			Src: MakeIP(10, 0, 1, 2), Dst: MakeIP(184, 72, 1, 9),
+		},
+		TCP: TCPHeader{
+			SrcPort: 51234, DstPort: 443,
+			Seq: 1000, Ack: 2000,
+			Flags: FlagACK | FlagPSH, Window: 65535,
+		},
+		Payload:    []byte("hello world"),
+		PayloadLen: 11,
+	}
+}
+
+func TestIPString(t *testing.T) {
+	ip := MakeIP(192, 168, 1, 200)
+	if got := ip.String(); got != "192.168.1.200" {
+		t.Fatalf("IP string = %q", got)
+	}
+	b := ip.Bytes()
+	if b != [4]byte{192, 168, 1, 200} {
+		t.Fatalf("IP bytes = %v", b)
+	}
+}
+
+func TestFlagsString(t *testing.T) {
+	f := FlagSYN | FlagACK
+	if got := f.String(); got != "SYN|ACK" {
+		t.Fatalf("flags = %q", got)
+	}
+	if TCPFlags(0).String() != "none" {
+		t.Fatal("zero flags should print none")
+	}
+	if !f.Has(FlagSYN) || f.Has(FlagPSH) {
+		t.Fatal("Has misbehaves")
+	}
+}
+
+func TestSerializeDecodeRoundTrip(t *testing.T) {
+	f := sampleFrame()
+	data := f.Serialize(1 << 16)
+	if len(data) != HeadersLen+len(f.Payload) {
+		t.Fatalf("serialized length = %d", len(data))
+	}
+	g, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.IP != f.IP || g.TCP != f.TCP {
+		t.Fatalf("headers differ:\n got %+v %+v\nwant %+v %+v", g.IP, g.TCP, f.IP, f.TCP)
+	}
+	if !bytes.Equal(g.Payload, f.Payload) || g.PayloadLen != f.PayloadLen {
+		t.Fatalf("payload differs: %q/%d", g.Payload, g.PayloadLen)
+	}
+}
+
+func TestSnapLengthCapture(t *testing.T) {
+	f := sampleFrame()
+	f.Payload = bytes.Repeat([]byte("x"), 500)
+	f.PayloadLen = 1460 // 960 bytes unmaterialized
+	data := f.Serialize(96)
+	if len(data) != 96 {
+		t.Fatalf("snaplen capture length = %d, want 96", len(data))
+	}
+	g, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.PayloadLen != 1460 {
+		t.Fatalf("true payload length lost: %d", g.PayloadLen)
+	}
+	if len(g.Payload) != 96-HeadersLen {
+		t.Fatalf("captured payload = %d bytes", len(g.Payload))
+	}
+	if g.Truncated() != 1460-(96-HeadersLen) {
+		t.Fatalf("Truncated() = %d", g.Truncated())
+	}
+}
+
+func TestSerializeHeadersOnly(t *testing.T) {
+	f := sampleFrame()
+	data := f.Serialize(0)
+	if len(data) != HeadersLen {
+		t.Fatalf("headers-only capture = %d bytes", len(data))
+	}
+	g, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.PayloadLen != f.PayloadLen || len(g.Payload) != 0 {
+		t.Fatalf("decode headers-only: len=%d captured=%d", g.PayloadLen, len(g.Payload))
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(nil); !errors.Is(err, ErrTooShort) {
+		t.Fatalf("nil decode err = %v", err)
+	}
+	f := sampleFrame()
+	data := f.Serialize(1 << 16)
+	data[0] = 0x65 // IPv6-ish version
+	if _, err := Decode(data); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("bad version err = %v", err)
+	}
+	data = f.Serialize(1 << 16)
+	data[15]++ // corrupt src address
+	if _, err := Decode(data); !errors.Is(err, ErrBadChecksum) {
+		t.Fatalf("corrupt packet err = %v", err)
+	}
+	data = f.Serialize(1 << 16)
+	data[9] = 17 // UDP
+	// fix the checksum so only the protocol check fires
+	data[10], data[11] = 0, 0
+	sum := foldChecksum(checksum(0, data[0:IPv4HeaderLen]))
+	data[10], data[11] = byte(sum>>8), byte(sum)
+	if _, err := Decode(data); !errors.Is(err, ErrNotTCP) {
+		t.Fatalf("non-TCP err = %v", err)
+	}
+}
+
+func TestCanonicalFlowKey(t *testing.T) {
+	f := sampleFrame()
+	key1, dir1 := Canonical(f)
+	rev := sampleFrame()
+	rev.IP.Src, rev.IP.Dst = f.IP.Dst, f.IP.Src
+	rev.TCP.SrcPort, rev.TCP.DstPort = f.TCP.DstPort, f.TCP.SrcPort
+	key2, dir2 := Canonical(rev)
+	if key1 != key2 {
+		t.Fatalf("bidirectional keys differ: %v vs %v", key1, key2)
+	}
+	if dir1 == dir2 {
+		t.Fatal("directions should differ for reversed frame")
+	}
+}
+
+func TestFlowReverse(t *testing.T) {
+	f := sampleFrame()
+	fl := FlowOf(f)
+	r := fl.Reverse()
+	if r.Src != fl.Dst || r.Dst != fl.Src {
+		t.Fatal("reverse broken")
+	}
+	src, dst := fl.Endpoints()
+	if src != fl.Src || dst != fl.Dst {
+		t.Fatal("endpoints broken")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	f := sampleFrame()
+	c := f.Clone()
+	c.Payload[0] = 'X'
+	if f.Payload[0] == 'X' {
+		t.Fatal("clone shares payload")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+	f := func(src, dst uint32, sp, dp uint16, seq, ack uint32, flags uint8, n uint16) bool {
+		payload := bytes.Repeat([]byte{0xab}, int(n%1400))
+		fr := &Frame{
+			IP:         IPv4Header{TTL: 64, Protocol: ProtocolTCP, Src: IP(src), Dst: IP(dst)},
+			TCP:        TCPHeader{SrcPort: sp, DstPort: dp, Seq: seq, Ack: ack, Flags: TCPFlags(flags & 0x3f), Window: 1000},
+			Payload:    payload,
+			PayloadLen: len(payload),
+		}
+		data := fr.Serialize(1 << 16)
+		g, err := Decode(data)
+		if err != nil {
+			return false
+		}
+		return g.IP == fr.IP && g.TCP == fr.TCP && g.PayloadLen == fr.PayloadLen
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTLSRecordRoundTrip(t *testing.T) {
+	payload := []byte("abcdef")
+	data := AppendRecord(nil, RecordApplicationData, payload)
+	rec, rest, err := ParseRecord(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Type != RecordApplicationData || !bytes.Equal(rec.Payload, payload) {
+		t.Fatalf("record = %v %q", rec.Type, rec.Payload)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("leftover %d bytes", len(rest))
+	}
+}
+
+func TestTLSPartialRecord(t *testing.T) {
+	data := AppendRecord(nil, RecordHandshake, bytes.Repeat([]byte{1}, 100))
+	rec, _, err := ParseRecord(data[:50])
+	if !errors.Is(err, ErrPartialRecord) {
+		t.Fatalf("err = %v", err)
+	}
+	if rec.Type != RecordHandshake || len(rec.Payload) != 45 {
+		t.Fatalf("partial rec: %v %d", rec.Type, len(rec.Payload))
+	}
+	if _, _, err := ParseRecord(data[:3]); !errors.Is(err, ErrPartialRecord) {
+		t.Fatal("short header should be partial")
+	}
+}
+
+func TestTLSInvalidContentType(t *testing.T) {
+	if _, _, err := ParseRecord([]byte{99, 3, 1, 0, 0}); err == nil {
+		t.Fatal("invalid content type accepted")
+	}
+}
+
+func TestBuildHandshakeExactSize(t *testing.T) {
+	for _, n := range []int{60, 294, 1000, 4103} {
+		rec := BuildHandshake(HandshakeClientHello, "client-lb.dropbox.com", n)
+		if len(rec) != n {
+			t.Fatalf("handshake record size = %d, want %d", len(rec), n)
+		}
+	}
+}
+
+func TestExtractSNIAndCert(t *testing.T) {
+	var stream []byte
+	stream = append(stream, BuildHandshake(HandshakeClientHello, "dl-client37.dropbox.com", 294)...)
+	stream = append(stream, ChangeCipherSpec()...)
+	if sni, ok := ExtractSNI(stream); !ok || sni != "dl-client37.dropbox.com" {
+		t.Fatalf("SNI = %q %v", sni, ok)
+	}
+	if _, ok := ExtractCertName(stream); ok {
+		t.Fatal("no certificate in stream")
+	}
+
+	var server []byte
+	server = append(server, BuildHandshake(HandshakeServerHello, "", 80)...)
+	server = append(server, BuildHandshake(HandshakeCertificate, "*.dropbox.com", 3900)...)
+	if cn, ok := ExtractCertName(server); !ok || cn != "*.dropbox.com" {
+		t.Fatalf("cert = %q %v", cn, ok)
+	}
+}
+
+func TestExtractFromTruncatedCapture(t *testing.T) {
+	// Certificate record truncated mid-padding: the name sits early in the
+	// record so DPI should still find it.
+	rec := BuildHandshake(HandshakeCertificate, "*.dropbox.com", 3900)
+	if cn, ok := ExtractCertName(rec[:100]); !ok || cn != "*.dropbox.com" {
+		t.Fatalf("truncated cert = %q %v", cn, ok)
+	}
+	// Truncated before the name completes: not extractable, not a crash.
+	if _, ok := ExtractCertName(rec[:8]); ok {
+		t.Fatal("should not extract from 8 bytes")
+	}
+}
+
+func TestAppendOpaque(t *testing.T) {
+	hdr := AppendOpaque(nil, 4096)
+	if len(hdr) != RecordHeaderLen {
+		t.Fatalf("opaque header = %d bytes", len(hdr))
+	}
+	rec, _, err := ParseRecord(hdr)
+	if !errors.Is(err, ErrPartialRecord) || rec.Type != RecordApplicationData {
+		t.Fatalf("opaque parse: %v %v", rec.Type, err)
+	}
+}
+
+func TestAlertAndCCS(t *testing.T) {
+	rec, _, err := ParseRecord(AlertClose())
+	if err != nil || rec.Type != RecordAlert {
+		t.Fatalf("alert: %v %v", rec.Type, err)
+	}
+	rec, _, err = ParseRecord(ChangeCipherSpec())
+	if err != nil || rec.Type != RecordChangeCipherSpec {
+		t.Fatalf("ccs: %v %v", rec.Type, err)
+	}
+}
+
+func BenchmarkSerialize(b *testing.B) {
+	f := sampleFrame()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = f.Serialize(96)
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	data := sampleFrame().Serialize(96)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

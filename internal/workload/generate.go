@@ -1,0 +1,932 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"insidedropbox/internal/chunker"
+	"insidedropbox/internal/classify"
+	"insidedropbox/internal/dropbox"
+	"insidedropbox/internal/flowmodel"
+	"insidedropbox/internal/simrand"
+	"insidedropbox/internal/tlssim"
+	"insidedropbox/internal/traces"
+	"insidedropbox/internal/wire"
+)
+
+// Dataset is the flow-level outcome of one vantage point campaign: the
+// records the probe would have exported plus the aggregate denominators the
+// popularity figures need.
+type Dataset struct {
+	Cfg     VPConfig
+	Records []*traces.FlowRecord
+
+	// BackgroundByDay is non-cloud traffic volume per day in bytes
+	// (denominator of Table 2 and Fig. 3); YouTubeByDay carves out YouTube.
+	BackgroundByDay []float64
+	YouTubeByDay    []float64
+
+	// Ground truth for validating probe-side inference.
+	DropboxHouseholds int
+	DropboxDevices    int
+}
+
+// Horizon returns the campaign length.
+func (d *Dataset) Horizon() time.Duration {
+	return time.Duration(d.Cfg.Days) * 24 * time.Hour
+}
+
+// TotalVolume sums payload bytes over all records plus background.
+func (d *Dataset) TotalVolume() float64 {
+	total := 0.0
+	for _, r := range d.Records {
+		total += float64(r.BytesUp + r.BytesDown)
+	}
+	for _, v := range d.BackgroundByDay {
+		total += v
+	}
+	return total
+}
+
+// session is one device-online interval.
+type session struct {
+	start, end time.Duration
+}
+
+// device is a generated Dropbox client installation.
+type device struct {
+	host       uint64
+	namespaces []uint32
+	natChopped bool
+	sessions   []session
+	access     AccessKind
+}
+
+// household is one subscriber line.
+type household struct {
+	ip      wire.IP
+	access  AccessKind
+	group   classify.UserGroup
+	devices []*device
+}
+
+// generator carries the run state.
+type generator struct {
+	cfg     VPConfig
+	rng     *simrand.Source
+	ds      *Dataset
+	horizon time.Duration
+
+	nextHost uint64
+	nextNS   uint32
+
+	storagePool int // number of storage server IPs
+}
+
+// Generate produces the dataset for a vantage point.
+func Generate(cfg VPConfig, seed int64) *Dataset {
+	g := &generator{
+		cfg:         cfg,
+		rng:         simrand.New(seed, "workload/"+cfg.Name),
+		horizon:     time.Duration(cfg.Days) * 24 * time.Hour,
+		nextHost:    1,
+		nextNS:      1,
+		storagePool: 640,
+	}
+	g.ds = &Dataset{
+		Cfg:             cfg,
+		BackgroundByDay: make([]float64, cfg.Days),
+		YouTubeByDay:    make([]float64, cfg.Days),
+	}
+	g.background()
+	ipBase := g.rng.Intn(200)
+	for i := 0; i < cfg.TotalIPs; i++ {
+		ip := wire.MakeIP(10, byte(ipBase), byte(i/250), byte(i%250))
+		g.subscriber(ip)
+	}
+	g.applyOutages()
+	sort.Slice(g.ds.Records, func(i, j int) bool {
+		return g.ds.Records[i].FirstPacket < g.ds.Records[j].FirstPacket
+	})
+	return g.ds
+}
+
+// background fills the per-day non-cloud and YouTube volumes, modulated by
+// week/holiday factors. DailyBackgroundGB describes the paper's full
+// population, so it scales down with the simulated one to keep traffic
+// shares (Fig. 3, Table 2) comparable.
+func (g *generator) background() {
+	scale := g.cfg.Scale
+	if scale <= 0 || scale > 1 {
+		scale = 1
+	}
+	for d := 0; d < g.cfg.Days; d++ {
+		t := time.Duration(d) * 24 * time.Hour
+		day := (d + campaignStartWeekday) % 7
+		factor := [7]float64(g.cfg.Week)[day] * g.cfg.Holidays.At(t)
+		vol := g.cfg.DailyBackgroundGB * 1e9 * scale * factor * g.rng.Uniform(0.92, 1.08)
+		yt := vol * g.cfg.YouTubeShare * g.rng.Uniform(0.85, 1.15)
+		g.ds.BackgroundByDay[d] = vol - yt
+		g.ds.YouTubeByDay[d] = yt
+	}
+}
+
+// weekFactorAt folds the campaign start weekday into the configured weekly
+// profile.
+func (g *generator) weekAdjusted() simrand.WeekdayFactor {
+	var out simrand.WeekdayFactor
+	for i := 0; i < 7; i++ {
+		out[i] = [7]float64(g.cfg.Week)[(i+campaignStartWeekday)%7]
+	}
+	return out
+}
+
+// subscriber generates all traffic of one IP address.
+func (g *generator) subscriber(ip wire.IP) {
+	access := g.cfg.Access[g.rng.Intn(len(g.cfg.Access))]
+	if g.rng.Bool(g.cfg.DropboxFrac) {
+		hh := g.makeDropboxHousehold(ip, access)
+		g.dropboxTraffic(hh)
+	}
+	// Competing providers move an order of magnitude less data than
+	// Dropbox despite comparable-or-higher installation counts (Fig. 2b:
+	// iCloud cannot sync arbitrary files).
+	if g.rng.Bool(g.cfg.ICloudFrac) {
+		g.providerTraffic(ip, classify.CertICloud, 0, 2.0e6, 4)
+	}
+	if g.rng.Bool(g.cfg.SkyDriveFrac) {
+		g.providerTraffic(ip, classify.CertSkyDrive, 0, 1.6e6, 3)
+	}
+	if g.rng.Bool(g.cfg.GDriveFrac) {
+		g.providerTraffic(ip, classify.CertGoogleDrive, 31, 2.5e6, 3) // launch Apr 24
+	}
+	if g.rng.Bool(g.cfg.OtherCloudFrac) {
+		certs := []string{classify.CertSugarSync, classify.CertBox, classify.CertUbuntuOne}
+		g.providerTraffic(ip, certs[g.rng.Intn(len(certs))], 0, 1.0e6, 2)
+	}
+	// Some non-client users fetch public direct links (Sec. 6).
+	if g.rng.Bool(0.02) {
+		g.directLinkDownloads(ip, 2)
+	}
+}
+
+// ---------- Dropbox population ----------
+
+func (g *generator) makeDropboxHousehold(ip wire.IP, access AccessKind) *household {
+	hh := &household{ip: ip, access: access, group: g.pickGroup()}
+	n := g.deviceCount(hh.group)
+	// Household namespace pool: the root plus shared folders; devices of
+	// the same account overlap in their namespace lists (Sec. 2.3.1).
+	rootNS := g.allocNS()
+	poolSize := 1 + g.rng.Intn(6)
+	pool := make([]uint32, poolSize)
+	for i := range pool {
+		pool[i] = g.allocNS()
+	}
+	for i := 0; i < n; i++ {
+		d := &device{host: g.nextHost, access: access}
+		g.nextHost++
+		d.namespaces = g.deviceNamespaces(rootNS, pool)
+		// A few devices sit permanently behind connection-killing
+		// equipment; most chopping is decided per session.
+		d.natChopped = g.rng.Bool(g.cfg.NATChoppedFrac / 4)
+		d.sessions = g.deviceSessions(hh.group)
+		hh.devices = append(hh.devices, d)
+	}
+	g.ds.DropboxHouseholds++
+	g.ds.DropboxDevices += n
+	return hh
+}
+
+func (g *generator) pickGroup() classify.UserGroup {
+	m := g.cfg.Groups
+	u := g.rng.Float64()
+	switch {
+	case u < m.Occasional:
+		return classify.GroupOccasional
+	case u < m.Occasional+m.UploadOnly:
+		return classify.GroupUploadOnly
+	case u < m.Occasional+m.UploadOnly+m.DownloadOnly:
+		return classify.GroupDownloadOnly
+	default:
+		return classify.GroupHeavy
+	}
+}
+
+// deviceCount follows Fig. 12 (≈60% single-device households; heavy users
+// average >2, Table 5).
+func (g *generator) deviceCount(group classify.UserGroup) int {
+	if g.cfg.WorkstationLike {
+		if g.rng.Bool(0.85) {
+			return 1
+		}
+		return 2
+	}
+	var weights []float64
+	if group == classify.GroupHeavy {
+		weights = []float64{0.32, 0.38, 0.17, 0.08, 0.05}
+	} else {
+		weights = []float64{0.72, 0.18, 0.06, 0.03, 0.01}
+	}
+	w := simrand.NewWeightedChoice(g.rng, weights)
+	n := w.Draw() + 1
+	if n == 5 {
+		n += g.rng.Intn(4) // the >4 tail
+	}
+	return n
+}
+
+// deviceNamespaces sizes the list per Fig. 13 and draws shares from the
+// household pool (plus extras for cross-household shares).
+func (g *generator) deviceNamespaces(root uint32, pool []uint32) []uint32 {
+	out := []uint32{root}
+	if g.rng.Bool(g.cfg.P1Namespace) {
+		return out
+	}
+	n := 1 + g.rng.Poisson(g.cfg.NamespaceLambda)
+	for i := 0; i < n; i++ {
+		if i < len(pool) && g.rng.Bool(0.6) {
+			out = append(out, pool[i])
+		} else {
+			out = append(out, g.allocNS()) // share with someone elsewhere
+		}
+	}
+	return out
+}
+
+func (g *generator) allocNS() uint32 {
+	v := g.nextNS
+	g.nextNS++
+	return v
+}
+
+// deviceSessions draws the session process for one device over the horizon.
+func (g *generator) deviceSessions(group classify.UserGroup) []session {
+	// A slice of devices never goes offline (the Fig. 16 tail).
+	alwaysOn := 0.08
+	if g.cfg.WorkstationLike {
+		alwaysOn = 0.13
+	}
+	if group == classify.GroupOccasional {
+		alwaysOn /= 2
+	}
+	if g.rng.Bool(alwaysOn) {
+		return []session{{0, g.horizon}}
+	}
+	rate := g.cfg.SessionsPerDay
+	if group == classify.GroupOccasional {
+		rate *= 0.45
+	}
+	starts := simrand.ThinnedPoissonProcess(g.rng, g.horizon, rate,
+		g.cfg.Diurnal, g.weekAdjusted(), g.cfg.Holidays)
+	var out []session
+	for _, s := range starts {
+		dur := g.sessionDuration()
+		end := s + dur
+		if end > g.horizon {
+			end = g.horizon
+		}
+		if len(out) > 0 && s <= out[len(out)-1].end {
+			// Overlapping start while already online: extend.
+			if end > out[len(out)-1].end {
+				out[len(out)-1].end = end
+			}
+			continue
+		}
+		out = append(out, session{s, end})
+	}
+	return out
+}
+
+// sessionDuration follows the Fig. 16 mixtures.
+func (g *generator) sessionDuration() time.Duration {
+	if g.cfg.WorkstationLike {
+		// Office routine: most sessions span the working day.
+		u := g.rng.Float64()
+		switch {
+		case u < 0.55:
+			return time.Duration(g.rng.LogNormalMedian(float64(7*time.Hour), 0.35))
+		case u < 0.80:
+			return time.Duration(g.rng.LogNormalMedian(float64(2*time.Hour), 0.8))
+		default:
+			return time.Duration(g.rng.LogNormalMedian(float64(15*time.Minute), 1.0))
+		}
+	}
+	u := g.rng.Float64()
+	switch {
+	case u < 0.45:
+		return time.Duration(g.rng.LogNormalMedian(float64(35*time.Minute), 1.1))
+	case u < 0.85:
+		return time.Duration(g.rng.LogNormalMedian(float64(2*time.Hour), 0.9))
+	default:
+		return time.Duration(g.rng.LogNormalMedian(float64(6*time.Hour), 0.7))
+	}
+}
+
+// ---------- Dropbox traffic synthesis ----------
+
+// eventRates returns (uploads, downloads) per online hour by group.
+func eventRates(group classify.UserGroup) (up, down float64) {
+	switch group {
+	case classify.GroupOccasional:
+		return 0.004, 0.004
+	case classify.GroupUploadOnly:
+		return 0.33, 0.002
+	case classify.GroupDownloadOnly:
+		return 0.002, 0.30
+	default: // heavy
+		return 0.38, 0.30
+	}
+}
+
+func (g *generator) dropboxTraffic(hh *household) {
+	// The Home 2 anomaly (Sec. 4.3.1): the first generated device streams
+	// single 4 MB chunks in consecutive TCP connections for days, biasing
+	// the store CDF (Fig. 7) and the upload totals (Fig. 11b).
+	if g.cfg.AbnormalUploader && len(hh.devices) > 0 && hh.devices[0].host == 1 {
+		dev := hh.devices[0]
+		start := 5 * 24 * time.Hour
+		end := 19 * 24 * time.Hour
+		dev.sessions = []session{{start, end}}
+		for at := start; at < end; at += time.Duration(g.rng.Uniform(500, 900) * float64(time.Second)) {
+			g.oneStorageFlow(hh, dev, at, classify.DirStore, []int{4 << 20})
+			g.controlFlow(hh, at, 2, 1) // each chunk is its own transaction
+		}
+	}
+	// Collect synchronization events per device first (uploads, downloads,
+	// start-up syncs, cross-device propagation), then synthesize flows in
+	// time order so consecutive batches can reuse storage connections
+	// within the 60 s idle window — the flow-inflating behaviour the paper
+	// observes in Sec. 4.4.2.
+	events := make(map[*device][]syncEvent)
+	for _, dev := range hh.devices {
+		for _, s := range dev.sessions {
+			g.notifyFlows(hh, dev, s)
+			g.controlFlow(hh, s.start, 3, 2) // register + first list
+			g.systemLogFlow(hh, s.start)
+			g.sessionEvents(hh, dev, s, events)
+		}
+	}
+	for _, dev := range hh.devices {
+		evs := events[dev]
+		sort.Slice(evs, func(i, j int) bool { return evs[i].at < evs[j].at })
+		var mergers [2]*mergeState // store, retrieve
+		for _, ev := range evs {
+			g.storageFlows(hh, dev, ev.at, ev.dir, ev.files, &mergers)
+		}
+		closeMerger(mergers[0])
+		closeMerger(mergers[1])
+	}
+	// Web interface / direct-link / API usage rides on the household.
+	if g.rng.Bool(0.25) {
+		g.webInterface(hh.ip, 1+g.rng.Intn(3))
+	}
+	if g.rng.Bool(0.5) {
+		g.directLinkDownloads(hh.ip, 1+g.rng.Intn(4))
+	}
+	if g.rng.Bool(0.15) {
+		g.apiFlows(hh.ip, 1+g.rng.Intn(3))
+	}
+}
+
+// syncEvent is one pending synchronization: a set of changed files to move
+// in one direction at one instant. Each file chunks independently (a chunk
+// never spans files), so multi-file events produce the multi-chunk flows
+// whose sequential acknowledgments the paper measures.
+type syncEvent struct {
+	at    time.Duration
+	dir   classify.Direction
+	files []int64
+}
+
+// eventFiles draws the changed-file set of one synchronization event: one
+// or a few files, mostly small deltas (the paper's median store flow is
+// ~16 kB and >40% of flows carry 2+ chunks).
+func (g *generator) eventFiles() []int64 {
+	n := 1 + g.rng.Poisson(1.4)
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = g.fileSize()
+	}
+	return out
+}
+
+// sessionEvents generates the synchronization events of one session into
+// the per-device event map.
+func (g *generator) sessionEvents(hh *household, dev *device, s session, events map[*device][]syncEvent) {
+	hours := (s.end - s.start).Hours()
+	if hours <= 0 {
+		return
+	}
+	upRate, downRate := eventRates(hh.group)
+	// First synchronization at start-up is download-dominated (Sec. 5.4)
+	// and accumulates every update produced while offline, so it skews
+	// larger than individual store events (Fig. 7).
+	if hh.group == classify.GroupHeavy || hh.group == classify.GroupDownloadOnly {
+		if g.rng.Bool(0.55) {
+			var files []int64
+			for i := 0; i < 1+g.rng.Poisson(1.6); i++ {
+				files = append(files, g.eventFiles()...)
+			}
+			events[dev] = append(events[dev], syncEvent{s.start + g.startupDelay(), classify.DirRetrieve, files})
+		}
+	}
+	nUp := g.rng.Poisson(upRate * hours)
+	for i := 0; i < nUp; i++ {
+		at := s.start + time.Duration(g.rng.Float64()*float64(s.end-s.start))
+		files := g.eventFiles()
+		events[dev] = append(events[dev], syncEvent{at, classify.DirStore, files})
+		// Cross-device sync: other online devices of the household pull
+		// the content from the cloud (unless LAN sync takes it).
+		for _, peer := range hh.devices {
+			if peer == dev || !online(peer, at) {
+				continue
+			}
+			if g.rng.Bool(0.5) { // LAN sync handles the rest invisibly
+				continue
+			}
+			delay := time.Duration(g.rng.Uniform(5, 90) * float64(time.Second))
+			events[peer] = append(events[peer], syncEvent{at + delay, classify.DirRetrieve, files})
+		}
+	}
+	nDown := g.rng.Poisson(downRate * hours)
+	for i := 0; i < nDown; i++ {
+		at := s.start + time.Duration(g.rng.Float64()*float64(s.end-s.start))
+		events[dev] = append(events[dev], syncEvent{at, classify.DirRetrieve, g.eventFiles()})
+	}
+}
+
+func (g *generator) startupDelay() time.Duration {
+	return time.Duration(g.rng.Uniform(2, 20) * float64(time.Second))
+}
+
+func online(d *device, at time.Duration) bool {
+	for _, s := range d.sessions {
+		if at >= s.start && at < s.end {
+			return true
+		}
+	}
+	return false
+}
+
+// fileSize draws a synchronization event's byte size: mostly small deltas,
+// a heavy tail of archives (Fig. 7's shape after chunking/batching).
+func (g *generator) fileSize() int64 {
+	u := g.rng.Float64()
+	var v float64
+	switch {
+	case u < 0.60:
+		v = g.rng.LogNormalMedian(9e3, 1.3) // deltas of constantly-edited files
+	case u < 0.85:
+		v = g.rng.LogNormalMedian(120e3, 1.1)
+	case u < 0.97:
+		v = g.rng.LogNormalMedian(2e6, 1.0)
+	default:
+		v = g.rng.LogNormalMedian(40e6, 0.8)
+	}
+	if v < 100 {
+		v = 100
+	}
+	if v > 2e9 {
+		v = 2e9
+	}
+	return int64(v)
+}
+
+// mergeState tracks a storage connection left open after its last batch:
+// follow-on batches within the 60 s idle window reuse it, folding into the
+// same flow record.
+type mergeState struct {
+	rec *traces.FlowRecord
+	dir classify.Direction
+	end time.Duration // end of the last data transfer
+}
+
+// closeMerger finalizes an open storage flow with the server's idle close
+// (alert + FIN answered by a client RST, Fig. 19).
+func closeMerger(m *mergeState) {
+	if m == nil || m.rec == nil {
+		return
+	}
+	r := m.rec
+	r.BytesDown += int64(wire.RecordHeaderLen + 2)
+	r.PSHDown++
+	r.PktsDown++
+	r.ServerClosed = true
+	r.SawRST = true
+	r.LastPayloadDown = m.end + 60*time.Second
+	if r.LastPayloadDown > r.LastPacket {
+		r.LastPacket = r.LastPayloadDown
+	}
+	m.rec = nil
+}
+
+// foldFlow appends a follow-on batch (synthesized as its own flow) onto an
+// open connection's record, removing the duplicate TLS handshake.
+func foldFlow(dst, src *traces.FlowRecord) {
+	hs := tlssim.DefaultHandshake()
+	dst.BytesUp += src.BytesUp - int64(hs.ClientBytes())
+	dst.BytesDown += src.BytesDown - int64(hs.ServerBytes())
+	dst.PSHUp += src.PSHUp - 2
+	dst.PSHDown += src.PSHDown - 2
+	dst.PktsUp += src.PktsUp - 2
+	dst.PktsDown += src.PktsDown - 2
+	dst.RTTSamples += src.RTTSamples
+	dst.LastPayloadUp = src.LastPayloadUp
+	dst.LastPayloadDown = src.LastPayloadDown
+	dst.LastPacket = src.LastPacket
+}
+
+// storageFlows chunks a synchronization event, applies compression, splits
+// into <=100-chunk batches (Sec. 2.3.2 caps flows near 400 MB this way)
+// and emits flows, reusing open connections within the idle window.
+func (g *generator) storageFlows(hh *household, dev *device, at time.Duration,
+	dir classify.Direction, files []int64, mergers *[2]*mergeState) {
+
+	var wires []int
+	for _, size := range files {
+		ratio := g.rng.Uniform(0.55, 1.0)
+		for _, r := range (chunker.SyntheticFile{Seed: g.rng.Uint64(), Size: size}).Refs() {
+			w := int(float64(r.Size) * ratio)
+			if w < 1 {
+				w = 1
+			}
+			wires = append(wires, w)
+		}
+	}
+	slot := 0
+	if dir == classify.DirRetrieve {
+		slot = 1
+	}
+	for len(wires) > 0 {
+		n := len(wires)
+		if n > dropbox.MaxChunksPerBatch {
+			n = dropbox.MaxChunksPerBatch
+		}
+		m := (*mergers)[slot]
+		reuse := m != nil && m.rec != nil && at > m.end && at-m.end < 55*time.Second
+		if reuse {
+			src := g.synthStorage(dev, m.end+maxDur(at-m.end, time.Second), dir, wires[:n], false)
+			if src != nil {
+				foldFlow(m.rec, src)
+				m.end = src.FirstPacket + classify.TransferDuration(src, dir)
+			}
+		} else {
+			closeMerger(m)
+			rec := g.synthStorage(dev, at, dir, wires[:n], false)
+			if rec != nil {
+				g.emitStorage(hh, rec)
+				(*mergers)[slot] = &mergeState{
+					rec: rec, dir: dir,
+					end: rec.FirstPacket + classify.TransferDuration(rec, dir),
+				}
+			}
+		}
+		g.controlFlow(hh, at, 2, 1) // commit_batch/need_blocks + close
+		if m = (*mergers)[slot]; m != nil && m.rec != nil {
+			at = m.end + time.Duration(g.rng.Uniform(0.3, 2)*float64(time.Second))
+		} else {
+			at += time.Duration(g.rng.Uniform(1, 5) * float64(time.Second))
+		}
+		wires = wires[n:]
+	}
+}
+
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// params builds flowmodel parameters for a household path.
+func (g *generator) params(access AccessKind, dir classify.Direction) flowmodel.Params {
+	up, down := access.rates()
+	bw := up
+	if dir == classify.DirRetrieve {
+		bw = down
+	}
+	if bw > 1.25e6 {
+		bw = 1.25e6 // per-server ceiling (Sec. 4.4)
+	}
+	return flowmodel.Params{
+		RTT:       g.rng.Jitter(g.cfg.StorageRTT, 0.04),
+		Bandwidth: bw,
+		IW:        g.cfg.ServerIW,
+		// The 2012 Python client hashed/compressed slowly and loaded
+		// storage front-ends added server reaction time; Fig. 10
+		// attributes most long-flow duration to these (100-chunk flows
+		// always exceed 30 s).
+		ClientReaction: 160 * time.Millisecond,
+		ServerReaction: 90 * time.Millisecond,
+		Version:        g.cfg.Version,
+	}
+}
+
+// synthStorage builds a storage flow record without registering it.
+func (g *generator) synthStorage(dev *device, at time.Duration, dir classify.Direction,
+	wires []int, serverCloses bool) *traces.FlowRecord {
+	if at >= g.horizon {
+		return nil
+	}
+	p := g.params(dev.access, dir)
+	return flowmodel.Synthesize(g.rng, p, flowmodel.StorageFlowSpec{
+		Dir: dir, ChunkWires: wires, Start: at,
+		ServerClosesIdle: serverCloses,
+	})
+}
+
+// emitStorage stamps addressing on a storage record and registers it.
+func (g *generator) emitStorage(hh *household, rec *traces.FlowRecord) {
+	server := g.rng.Intn(g.storagePool)
+	g.stamp(rec, hh.ip, storageServerIP(server), 443)
+	rec.SNI = fmt.Sprintf("dl-client%d.dropbox.com", server%520+1)
+	if g.cfg.HasDNS {
+		rec.FQDN = rec.SNI
+	} else {
+		rec.FQDN = ""
+	}
+	g.ds.Records = append(g.ds.Records, rec)
+}
+
+// oneStorageFlow emits a standalone (non-reused) storage flow.
+func (g *generator) oneStorageFlow(hh *household, dev *device, at time.Duration,
+	dir classify.Direction, wires []int) {
+	rec := g.synthStorage(dev, at, dir, wires, g.rng.Bool(0.85))
+	if rec != nil {
+		g.emitStorage(hh, rec)
+	}
+}
+
+func storageServerIP(i int) wire.IP {
+	return wire.MakeIP(184, 72, byte(i/256), byte(i%256))
+}
+
+// stamp fills the addressing fields common to all synthesized records.
+func (g *generator) stamp(rec *traces.FlowRecord, client, server wire.IP, port uint16) {
+	rec.VP = g.cfg.Name
+	rec.Client = client
+	rec.Server = server
+	rec.ClientPort = uint16(30000 + g.rng.Intn(30000))
+	rec.ServerPort = port
+	rec.SawSYN = true
+}
+
+// ---------- control / notify / log flows ----------
+
+// controlFlow emits a short TLS exchange with the meta-data servers.
+func (g *generator) controlFlow(hh *household, at time.Duration, reqs, extra int) {
+	if at >= g.horizon {
+		return
+	}
+	rtt := g.rng.Jitter(g.cfg.ControlRTT, 0.02)
+	if g.cfg.ControlRTTSteps {
+		rtt += time.Duration(g.rng.Intn(3)) * 3 * time.Millisecond
+	}
+	hs := tlssim.DefaultHandshake()
+	up := int64(hs.ClientBytes())
+	down := int64(hs.ServerBytes())
+	for i := 0; i < reqs; i++ {
+		up += int64(tlssim.MessageWireSize(200 + g.rng.Intn(1200)))
+		down += int64(tlssim.MessageWireSize(150 + g.rng.Intn(900)))
+	}
+	dur := time.Duration(2+reqs) * rtt
+	rec := &traces.FlowRecord{
+		FirstPacket: at, LastPacket: at + dur,
+		LastPayloadUp: at + dur - rtt/2, LastPayloadDown: at + dur,
+		BytesUp: up, BytesDown: down,
+		PktsUp: int(up/wire.MSS) + reqs + 2, PktsDown: int(down/wire.MSS) + reqs + 2,
+		PSHUp: 2 + reqs, PSHDown: 2 + reqs,
+		// Meta-data exchanges span several segments each way; the probe
+		// collects a sample per acknowledged segment, comfortably past the
+		// >=10 filter of Fig. 6 on multi-request connections.
+		MinRTT: rtt, RTTSamples: 10 + reqs + extra,
+		SNI: "client-lb.dropbox.com", CertName: "*.dropbox.com",
+		SawFIN: true,
+	}
+	server := g.rng.Intn(10)
+	g.stamp(rec, hh.ip, wire.MakeIP(199, 47, 216, byte(server)), 443)
+	if g.cfg.HasDNS {
+		rec.FQDN = "client-lb.dropbox.com"
+	}
+	g.ds.Records = append(g.ds.Records, rec)
+}
+
+// notifyFlows emits the long-poll connection(s) covering a session.
+func (g *generator) notifyFlows(hh *household, dev *device, s session) {
+	emit := func(start, end time.Duration) {
+		polls := int((end - start) / time.Minute)
+		if polls < 1 {
+			polls = 1
+		}
+		req := int64(90 + 12*len(dev.namespaces))
+		rec := &traces.FlowRecord{
+			FirstPacket: start, LastPacket: end,
+			LastPayloadUp: end, LastPayloadDown: end,
+			BytesUp: int64(polls) * req, BytesDown: int64(polls) * 70,
+			PktsUp: polls + 2, PktsDown: polls + 2,
+			PSHUp: polls, PSHDown: polls,
+			MinRTT: g.rng.Jitter(g.cfg.ControlRTT, 0.02), RTTSamples: polls,
+			NotifyHost: dev.host, NotifyNamespaces: dev.namespaces,
+			SawRST: true,
+		}
+		server := g.rng.Intn(20)
+		g.stamp(rec, hh.ip, wire.MakeIP(199, 47, 217, byte(server)), 80)
+		if g.cfg.HasDNS {
+			rec.FQDN = fmt.Sprintf("notify%d.dropbox.com", server+1)
+		}
+		g.ds.Records = append(g.ds.Records, rec)
+	}
+	// Some sessions run behind network equipment that kills idle
+	// connections within a minute; the client re-establishes immediately,
+	// producing the sub-minute mass of Fig. 16. Chopping is decided per
+	// session: "most of those flows are from some few devices" — but a
+	// device's environment varies (Sec. 5.5).
+	chopped := dev.natChopped || g.rng.Bool(g.cfg.NATChoppedFrac)
+	if !chopped {
+		emit(s.start, s.end)
+		return
+	}
+	for t := s.start; t < s.end; {
+		life := time.Duration(g.rng.Uniform(15, 75) * float64(time.Second))
+		end := t + life
+		if end > s.end {
+			end = s.end
+		}
+		emit(t, end)
+		t = end + time.Duration(g.rng.Uniform(0.5, 3)*float64(time.Second))
+	}
+}
+
+func (g *generator) systemLogFlow(hh *household, at time.Duration) {
+	if at >= g.horizon || !g.rng.Bool(0.6) {
+		return
+	}
+	rec := &traces.FlowRecord{
+		FirstPacket: at, LastPacket: at + 2*time.Second,
+		LastPayloadUp: at + 2*time.Second, LastPayloadDown: at + 2*time.Second,
+		BytesUp: int64(294 + 500 + g.rng.Intn(2000)), BytesDown: 4103 + 400,
+		PktsUp: 4, PktsDown: 5, PSHUp: 3, PSHDown: 3,
+		SNI: "d.dropbox.com", CertName: "*.dropbox.com", SawFIN: true,
+	}
+	g.stamp(rec, hh.ip, wire.MakeIP(199, 47, 216, 12), 443)
+	if g.cfg.HasDNS {
+		rec.FQDN = "d.dropbox.com"
+	}
+	g.ds.Records = append(g.ds.Records, rec)
+}
+
+// ---------- web / API / other-provider flows ----------
+
+// webInterface emits main-Web-interface browsing: parallel SSL connections
+// fetching thumbnails and small files (Fig. 17).
+func (g *generator) webInterface(ip wire.IP, visits int) {
+	for v := 0; v < visits; v++ {
+		at := g.randomInstant()
+		conns := 2 + g.rng.Intn(6)
+		for c := 0; c < conns; c++ {
+			down := int64(4103 + int(g.rng.LogNormalMedian(3e3, 1.8)))
+			if g.rng.Bool(0.05) { // occasional real file download <10MB
+				down = 4103 + int64(g.rng.LogNormalMedian(400e3, 1.4))
+			}
+			up := int64(294 + 300 + g.rng.Intn(1500))
+			if g.rng.Bool(0.03) { // rare upload through the Web form
+				up += int64(g.rng.LogNormalMedian(30e3, 1.3))
+			}
+			rec := &traces.FlowRecord{
+				FirstPacket: at, LastPacket: at + 4*time.Second,
+				LastPayloadUp: at + time.Second, LastPayloadDown: at + 3*time.Second,
+				BytesUp: up, BytesDown: down,
+				PktsUp: int(up/wire.MSS) + 3, PktsDown: int(down/wire.MSS) + 3,
+				PSHUp: 3, PSHDown: 4,
+				SNI: "dl-web.dropbox.com", CertName: "*.dropbox.com", SawFIN: true,
+			}
+			g.stamp(rec, ip, wire.MakeIP(184, 72, 3, 2), 443)
+			if g.cfg.HasDNS {
+				rec.FQDN = "dl-web.dropbox.com"
+			}
+			g.ds.Records = append(g.ds.Records, rec)
+		}
+	}
+}
+
+// directLinkDownloads emits dl.dropbox.com public-link fetches (Fig. 18):
+// no SSL floor (many are plain HTTP), sizes rarely above 10 MB.
+func (g *generator) directLinkDownloads(ip wire.IP, n int) {
+	for i := 0; i < n; i++ {
+		at := g.randomInstant()
+		size := int64(g.rng.LogNormalMedian(120e3, 2.0))
+		if size > 200e6 {
+			size = 200e6
+		}
+		https := g.rng.Bool(0.2)
+		var port uint16 = 80
+		down := size
+		up := int64(250 + g.rng.Intn(400))
+		cert := ""
+		if https {
+			port = 443
+			down += 4103
+			up += 294
+			cert = "*.dropbox.com"
+		}
+		rec := &traces.FlowRecord{
+			FirstPacket: at, LastPacket: at + 8*time.Second,
+			LastPayloadUp: at + time.Second, LastPayloadDown: at + 8*time.Second,
+			BytesUp: up, BytesDown: down,
+			PktsUp: 4, PktsDown: int(down/wire.MSS) + 3,
+			PSHUp: 2, PSHDown: 3,
+			CertName: cert, SawFIN: true,
+		}
+		g.stamp(rec, ip, wire.MakeIP(184, 72, 3, 0), port)
+		if g.cfg.HasDNS {
+			rec.FQDN = "dl.dropbox.com"
+		}
+		g.ds.Records = append(g.ds.Records, rec)
+	}
+}
+
+// apiFlows emits mobile/API traffic against api-content (up to 4% of the
+// volume in home networks, Fig. 4).
+func (g *generator) apiFlows(ip wire.IP, n int) {
+	for i := 0; i < n; i++ {
+		at := g.randomInstant()
+		down := int64(4103 + int(g.rng.LogNormalMedian(250e3, 1.6)))
+		up := int64(294 + 500 + g.rng.Intn(2000))
+		rec := &traces.FlowRecord{
+			FirstPacket: at, LastPacket: at + 5*time.Second,
+			LastPayloadUp: at + time.Second, LastPayloadDown: at + 5*time.Second,
+			BytesUp: up, BytesDown: down,
+			PktsUp: 4, PktsDown: int(down/wire.MSS) + 3,
+			PSHUp: 3, PSHDown: 3,
+			SNI: "api-content.dropbox.com", CertName: "*.dropbox.com", SawFIN: true,
+		}
+		g.stamp(rec, ip, wire.MakeIP(184, 72, 3, 4), 443)
+		if g.cfg.HasDNS {
+			rec.FQDN = "api-content.dropbox.com"
+		}
+		g.ds.Records = append(g.ds.Records, rec)
+	}
+}
+
+// providerTraffic generates a competitor's flows: activeFrom gates launch
+// dates (Google Drive appears on its launch day, Fig. 2).
+func (g *generator) providerTraffic(ip wire.IP, cert string, activeFrom int, dailyVol float64, flowsPerDay int) {
+	for d := activeFrom; d < g.cfg.Days; d++ {
+		if !g.rng.Bool(0.55) {
+			continue // not every installed client is active daily
+		}
+		dayStart := time.Duration(d) * 24 * time.Hour
+		vol := dailyVol * g.rng.Uniform(0.3, 1.7)
+		n := 1 + g.rng.Intn(flowsPerDay)
+		for i := 0; i < n; i++ {
+			at := dayStart + g.cfg.Diurnal.SampleTimeOfDay(g.rng)
+			down := int64(vol / float64(n) * g.rng.Uniform(0.5, 1.5))
+			up := down / 8
+			rec := &traces.FlowRecord{
+				FirstPacket: at, LastPacket: at + 20*time.Second,
+				LastPayloadUp: at + 10*time.Second, LastPayloadDown: at + 20*time.Second,
+				BytesUp: up + 294, BytesDown: down + 4103,
+				PktsUp: int(up/wire.MSS) + 4, PktsDown: int(down/wire.MSS) + 4,
+				PSHUp: 4, PSHDown: 4,
+				CertName: cert, SawFIN: true,
+			}
+			g.stamp(rec, ip, wire.MakeIP(17, 32, byte(d), byte(i)), 443)
+			g.ds.Records = append(g.ds.Records, rec)
+		}
+	}
+}
+
+func (g *generator) randomInstant() time.Duration {
+	d := g.rng.Intn(g.cfg.Days)
+	return time.Duration(d)*24*time.Hour + g.cfg.Diurnal.SampleTimeOfDay(g.rng)
+}
+
+// applyOutages drops records from probe-outage days and zeroes background.
+func (g *generator) applyOutages() {
+	if len(g.cfg.OutageDays) == 0 {
+		return
+	}
+	out := make(map[int]bool, len(g.cfg.OutageDays))
+	for _, d := range g.cfg.OutageDays {
+		out[d] = true
+		if d >= 0 && d < len(g.ds.BackgroundByDay) {
+			g.ds.BackgroundByDay[d] = 0
+			g.ds.YouTubeByDay[d] = 0
+		}
+	}
+	kept := g.ds.Records[:0]
+	for _, r := range g.ds.Records {
+		day := int(r.FirstPacket / (24 * time.Hour))
+		if !out[day] {
+			kept = append(kept, r)
+		}
+	}
+	g.ds.Records = kept
+}
+
+// DayOfRecord returns the campaign day containing a record's start.
+func DayOfRecord(r *traces.FlowRecord) int {
+	return int(r.FirstPacket / (24 * time.Hour))
+}
