@@ -8,6 +8,8 @@ package insidedropbox
 // distance, delta encoding and LAN sync.
 
 import (
+	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -17,8 +19,10 @@ import (
 	"insidedropbox/internal/deltasync"
 	"insidedropbox/internal/dropbox"
 	"insidedropbox/internal/experiments"
+	"insidedropbox/internal/fleet"
 	"insidedropbox/internal/flowmodel"
 	"insidedropbox/internal/simrand"
+	"insidedropbox/internal/workload"
 )
 
 var (
@@ -246,4 +250,80 @@ func BenchmarkCampaignGeneration(b *testing.B) {
 			b.Fatal("empty campaign")
 		}
 	}
+}
+
+// ---------- fleet engine: sequential versus sharded ----------
+
+// BenchmarkFleetVsSequential pits the legacy single-threaded generator
+// against the sharded engine on one vantage point at growing populations:
+// materializing (dataset) and streaming-aggregation (summary) paths.
+func BenchmarkFleetVsSequential(b *testing.B) {
+	for _, scale := range []float64{0.05, 0.2} {
+		cfg := workload.Home1(scale)
+		name := fmt.Sprintf("home1/scale=%.2f", scale)
+		b.Run(name+"/sequential", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ds := workload.Generate(cfg, int64(i))
+				if len(ds.Records) == 0 {
+					b.Fatal("empty dataset")
+				}
+			}
+		})
+		shards := 2 * runtime.GOMAXPROCS(0)
+		b.Run(name+"/sharded-dataset", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ds := fleet.Dataset(cfg, int64(i), fleet.Config{Shards: shards})
+				if len(ds.Records) == 0 {
+					b.Fatal("empty dataset")
+				}
+			}
+		})
+		b.Run(name+"/sharded-stream", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sum, _ := fleet.Summarize(cfg, int64(i), fleet.Config{Shards: shards})
+				if sum.Flows == 0 {
+					b.Fatal("empty summary")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFleetCampaign runs the whole four-VP campaign through each path.
+func BenchmarkFleetCampaign(b *testing.B) {
+	sc := experiments.ScaleConfig{Campus1: 0.25, Campus2: 0.05, Home1: 0.015, Home2: 0.015}
+	shards := 2 * runtime.GOMAXPROCS(0)
+	b.Run("materialized", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c := experiments.RunShardedCampaign(int64(i), sc, fleet.Config{Shards: shards})
+			if len(c.Datasets) != 4 {
+				b.Fatal("short campaign")
+			}
+		}
+	})
+	b.Run("streaming", func(b *testing.B) {
+		var flows float64
+		for i := 0; i < b.N; i++ {
+			rep := experiments.RunFleetCampaign(int64(i), sc, fleet.Config{Shards: shards})
+			flows = 0
+			for _, vp := range rep.VPs {
+				flows += float64(vp.Summary.Flows)
+			}
+			if flows == 0 {
+				b.Fatal("empty report")
+			}
+		}
+		b.ReportMetric(flows, "flows")
+	})
+	// 10x the default population, streaming only: the configuration that
+	// does not fit the materializing path's memory envelope.
+	b.Run("streaming-10x", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rep := experiments.RunFleetCampaign(int64(i), sc,
+				fleet.Config{Shards: shards, DevicesScale: 10})
+			if rep.VPs[0].Summary.Flows == 0 {
+				b.Fatal("empty report")
+			}
+		}
+	})
 }

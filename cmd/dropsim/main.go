@@ -1,24 +1,44 @@
 // Command dropsim generates one vantage point's 42-day flow-record dataset
-// and writes it as anonymized CSV (the format of the paper's public trace
-// release).
+// through the sharded fleet engine and writes it as anonymized CSV (the
+// format of the paper's public trace release), or — with -summary —
+// reduces it to streaming aggregates without ever materializing records.
 //
 // Usage:
 //
-//	dropsim [-vp campus1|campus2|home1|home2] [-scale F] [-seed N] [-o FILE]
+//	dropsim [-vp campus1|campus2|home1|home2] [-scale F] [-seed N]
+//	        [-shards N] [-workers N] [-devices-scale F]
+//	        [-summary] [-o FILE]
+//
+// Records stream from the generator shards straight into the CSV writer,
+// so memory stays bounded however large -scale and -devices-scale grow the
+// population. -shards changes the population sample (each shard draws an
+// independent seeded stream); -workers only changes wall-clock time.
+//
+// Rows are emitted in deterministic shard/generation order, not sorted by
+// first-packet time as the materializing GenerateDataset export is — a
+// bounded-memory stream cannot globally sort. Sort post-hoc when the probe
+// export order matters.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"insidedropbox"
+	"insidedropbox/internal/analysis"
 )
 
 func main() {
 	vp := flag.String("vp", "home1", "vantage point: campus1, campus2, home1, home2")
 	scale := flag.Float64("scale", 0.05, "population scale versus the paper")
 	seed := flag.Int64("seed", 42, "random seed")
+	shards := flag.Int("shards", 1, "deterministic population shards (part of the result)")
+	workers := flag.Int("workers", 0, "concurrent shard workers (0 = GOMAXPROCS; never changes results)")
+	devScale := flag.Float64("devices-scale", 1, "population multiplier on top of -scale")
+	summary := flag.Bool("summary", false, "print streaming aggregates instead of CSV records")
 	out := flag.String("o", "", "output file (default stdout)")
 	flag.Parse()
 
@@ -38,9 +58,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown vantage point %q\n", *vp)
 		os.Exit(2)
 	}
+	fc := insidedropbox.FleetConfig{Shards: *shards, Workers: *workers, DevicesScale: *devScale}
 
-	ds := insidedropbox.GenerateDataset(cfg, *seed)
-	w := os.Stdout
+	var w io.Writer = os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
@@ -50,10 +70,60 @@ func main() {
 		defer f.Close()
 		w = f
 	}
-	if err := insidedropbox.SaveTraces(ds, w); err != nil {
+
+	if *summary {
+		printSummary(cfg, *seed, fc, w)
+		return
+	}
+
+	stats, volume, err := streamCSV(cfg, *seed, fc, w)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "writing traces:", err)
 		os.Exit(1)
 	}
+	for _, v := range stats.BackgroundByDay {
+		volume += v
+	}
 	fmt.Fprintf(os.Stderr, "%s: %d flow records, %d Dropbox devices, %.2f GB total\n",
-		cfg.Name, len(ds.Records), ds.DropboxDevices, ds.TotalVolume()/1e9)
+		stats.Cfg.Name, stats.Records, stats.Devices, volume/1e9)
+}
+
+// printSummary runs the bounded-memory aggregation path and renders the
+// streaming metrics.
+func printSummary(cfg insidedropbox.VPConfig, seed int64, fc insidedropbox.FleetConfig, w io.Writer) {
+	sum, stats := insidedropbox.GenerateFleetSummary(cfg, seed, fc)
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%s: %d IPs, %d shards\n", stats.Cfg.Name, stats.Cfg.TotalIPs, stats.Shards)
+	m := sum.Metrics()
+	for _, k := range analysis.SortedKeys(m) {
+		fmt.Fprintf(bw, "  %-18s %.6g\n", k, m[k])
+	}
+	if err := bw.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "writing summary:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "%s: %d flow records aggregated, %d Dropbox devices (ground truth)\n",
+		stats.Cfg.Name, stats.Records, stats.Devices)
+}
+
+// streamCSV pipes records from the generator shards straight into the trace
+// writer without materializing the dataset. A write error latches and
+// skips all further writes; generation itself still runs to completion
+// (the engine has no cancellation path yet).
+func streamCSV(cfg insidedropbox.VPConfig, seed int64, fc insidedropbox.FleetConfig,
+	w io.Writer) (insidedropbox.FleetStats, float64, error) {
+
+	tw := insidedropbox.NewTraceWriter(w)
+	var volume float64
+	var writeErr error
+	stats := insidedropbox.StreamDataset(cfg, seed, fc, func(r *insidedropbox.FlowRecord) {
+		volume += float64(r.BytesUp + r.BytesDown)
+		if writeErr == nil {
+			writeErr = tw.Write(r)
+		}
+	})
+	if writeErr == nil {
+		writeErr = tw.Flush()
+	}
+	return stats, volume, writeErr
 }

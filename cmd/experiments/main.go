@@ -4,6 +4,12 @@
 // Usage:
 //
 //	experiments [-seed N] [-out DIR] [-quick] [-skip-packet]
+//	            [-shards N] [-fleet-scale F]
+//
+// -shards routes campaign generation through the sharded fleet engine
+// (changing the population sample but not its size); -fleet-scale > 0 adds
+// a streaming fleet campaign at that population multiplier, aggregated
+// with bounded memory.
 package main
 
 import (
@@ -20,6 +26,8 @@ func main() {
 	out := flag.String("out", "results", "output directory")
 	quick := flag.Bool("quick", false, "small populations and packet labs")
 	skipPacket := flag.Bool("skip-packet", false, "skip the packet-level labs (Figs. 1, 9, 10, 19)")
+	shards := flag.Int("shards", 1, "population shards per vantage point (1 = historical datasets)")
+	fleetScale := flag.Float64("fleet-scale", 0, "also run a streaming fleet campaign at this device multiplier (0 = off)")
 	flag.Parse()
 
 	start := time.Now()
@@ -27,8 +35,8 @@ func main() {
 	if *quick {
 		scale = insidedropbox.SmallScale()
 	}
-	fmt.Printf("generating 42-day campaign (seed %d)...\n", *seed)
-	camp := insidedropbox.RunCampaign(*seed, scale)
+	fmt.Printf("generating 42-day campaign (seed %d, %d shards/VP)...\n", *seed, *shards)
+	camp := insidedropbox.RunShardedCampaign(*seed, scale, insidedropbox.FleetConfig{Shards: *shards})
 	for _, ds := range camp.Datasets {
 		fmt.Printf("  %-16s %6d IPs  %8d flows  %7.2f GB (scale %.2f)\n",
 			ds.Cfg.Name, ds.Cfg.TotalIPs, len(ds.Records), ds.TotalVolume()/1e9, ds.Cfg.Scale)
@@ -42,6 +50,13 @@ func main() {
 		t4scale = 0.4
 	}
 	results = append(results, insidedropbox.Table4(*seed, t4scale))
+
+	if *fleetScale > 0 {
+		fmt.Printf("running streaming fleet campaign (%.4gx devices)...\n", *fleetScale)
+		rep := insidedropbox.RunFleetCampaign(*seed, scale,
+			insidedropbox.FleetConfig{Shards: *shards, DevicesScale: *fleetScale})
+		results = append(results, rep.Result())
+	}
 
 	if !*skipPacket {
 		fmt.Println("running packet-level performance labs (Figs. 9, 10)...")

@@ -1,0 +1,3 @@
+module insidedropbox
+
+go 1.24

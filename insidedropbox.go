@@ -14,13 +14,17 @@
 //   - a Tstat-like passive probe performing flow reassembly, RTT
 //     estimation, PSH accounting and TLS/DNS/notification DPI;
 //   - the paper's analysis methodology (f(u) tagging, chunk estimation,
-//     session reconstruction, user grouping); and
+//     session reconstruction, user grouping);
 //   - calibrated workload generators standing in for the four European
-//     vantage points of the study.
+//     vantage points of the study; and
+//   - a sharded, streaming fleet engine (FleetConfig, RunFleetCampaign)
+//     that scales those populations from thousands to millions of devices
+//     across every core with bounded memory and bit-reproducible results.
 //
 // Every table and figure of the paper regenerates through this API; see
 // cmd/experiments for the batch driver and EXPERIMENTS.md for the
-// paper-versus-measured record.
+// experiment catalogue and the fleet engine's sharding and determinism
+// contract.
 package insidedropbox
 
 import (
@@ -29,7 +33,9 @@ import (
 	"os"
 	"path/filepath"
 
+	"insidedropbox/internal/analysis"
 	"insidedropbox/internal/experiments"
+	"insidedropbox/internal/fleet"
 	"insidedropbox/internal/traces"
 	"insidedropbox/internal/workload"
 )
@@ -45,6 +51,21 @@ type ScaleConfig = experiments.ScaleConfig
 
 // Dataset is one vantage point's generated flow records.
 type Dataset = workload.Dataset
+
+// FlowRecord is one monitored TCP flow as exported by the probe.
+type FlowRecord = traces.FlowRecord
+
+// TraceWriter streams flow records as CSV.
+type TraceWriter = traces.Writer
+
+// NewTraceWriter returns an anonymizing CSV trace writer (the format of
+// the paper's public release), for streaming exports that never hold a
+// full dataset.
+func NewTraceWriter(w io.Writer) *TraceWriter {
+	tw := traces.NewWriter(w)
+	tw.Anonymize = true
+	return tw
+}
 
 // VPConfig parameterizes a vantage point population.
 type VPConfig = workload.VPConfig
@@ -74,6 +95,53 @@ var (
 // GenerateDataset runs the workload generator for one vantage point.
 func GenerateDataset(cfg VPConfig, seed int64) *Dataset {
 	return workload.Generate(cfg, seed)
+}
+
+// ---------- fleet engine (sharded, streaming campaigns) ----------
+
+// FleetConfig sizes the sharded fleet engine: the deterministic shard
+// count (part of the experiment definition), the worker pool (wall-clock
+// only, never results), and a population multiplier.
+type FleetConfig = fleet.Config
+
+// FleetStats is the merged ground truth of one vantage point's fleet run.
+type FleetStats = fleet.VPStats
+
+// FleetSummary is the streaming aggregate of one vantage point: per-day
+// volume accumulators, online flow-size histograms and device/namespace
+// counters, at memory independent of the flow count.
+type FleetSummary = fleet.Summary
+
+// FleetReport is a campaign reduced to streaming aggregates — what a
+// campaign looks like at populations too large to materialize.
+type FleetReport = experiments.FleetReport
+
+// RunFleetCampaign streams all four vantage points through the sharded
+// fleet engine with bounded memory: records are aggregated as they are
+// generated and never accumulated, so FleetConfig.DevicesScale can grow
+// the population far past what RunCampaign could hold.
+func RunFleetCampaign(seed int64, scale ScaleConfig, fc FleetConfig) *FleetReport {
+	return experiments.RunFleetCampaign(seed, scale, fc)
+}
+
+// RunShardedCampaign materializes a Campaign through the fleet engine.
+// With fc.Shards == 1 it reproduces RunCampaign exactly; higher shard
+// counts use every core at identical population sizes.
+func RunShardedCampaign(seed int64, scale ScaleConfig, fc FleetConfig) *Campaign {
+	return experiments.RunShardedCampaign(seed, scale, fc)
+}
+
+// GenerateFleetSummary streams one vantage point through the engine's
+// aggregation path, returning the summary and generation ground truth.
+func GenerateFleetSummary(cfg VPConfig, seed int64, fc FleetConfig) (*FleetSummary, FleetStats) {
+	return fleet.Summarize(cfg, seed, fc)
+}
+
+// StreamDataset generates one vantage point through the sharded engine and
+// delivers every record to emit in canonical shard order with bounded
+// buffering — the path for exporting huge trace files without holding them.
+func StreamDataset(cfg VPConfig, seed int64, fc FleetConfig, emit func(*traces.FlowRecord)) FleetStats {
+	return fleet.StreamOrdered(cfg, seed, fc, emit)
 }
 
 // AllExperiments regenerates every campaign-level table and figure in
@@ -148,14 +216,5 @@ func WriteResults(dir string, results []*Result) error {
 }
 
 func sortedKeys(m map[string]float64) []string {
-	out := make([]string, 0, len(m))
-	for k := range m {
-		out = append(out, k)
-	}
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
-	return out
+	return analysis.SortedKeys(m)
 }

@@ -68,6 +68,52 @@ func TestFacadeWriteResults(t *testing.T) {
 	}
 }
 
+func TestFacadeFleet(t *testing.T) {
+	sc := ScaleConfig{Campus1: 0.15, Campus2: 0.03, Home1: 0.01, Home2: 0.01}
+	fc := FleetConfig{Shards: 3, Workers: 2, DevicesScale: 2}
+
+	rep := RunFleetCampaign(21, sc, fc)
+	if len(rep.VPs) != 4 {
+		t.Fatalf("fleet report has %d VPs", len(rep.VPs))
+	}
+	home1 := rep.ByName("home1")
+	if home1 == nil || home1.Summary.Flows == 0 {
+		t.Fatal("fleet report missing home1 aggregates")
+	}
+	if res := rep.Result(); res.Text == "" || res.Metrics["flows_total"] == 0 {
+		t.Fatal("fleet result did not render")
+	}
+
+	// Streaming export matches the streamed stats and produces valid CSV.
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf)
+	n := 0
+	stats := StreamDataset(Campus1(0.1), 3, FleetConfig{Shards: 2}, func(r *FlowRecord) {
+		n++
+		if err := tw.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 || n != stats.Records {
+		t.Fatalf("streamed %d records, stats say %d", n, stats.Records)
+	}
+	if !strings.Contains(buf.String(), "vp,client,server") {
+		t.Fatal("missing CSV header on streamed export")
+	}
+
+	// RunShardedCampaign with one shard reproduces RunCampaign.
+	a := RunCampaign(9, sc)
+	b := RunShardedCampaign(9, sc, FleetConfig{Shards: 1})
+	for i := range a.Datasets {
+		if len(a.Datasets[i].Records) != len(b.Datasets[i].Records) {
+			t.Fatalf("%s: sharded(1) diverged from RunCampaign", a.Datasets[i].Cfg.Name)
+		}
+	}
+}
+
 func TestFacadeTestbed(t *testing.T) {
 	fig1, fig19 := Testbed(13)
 	if !strings.Contains(fig1.Text, "MsgCommitBatch") {

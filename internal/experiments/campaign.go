@@ -9,11 +9,13 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"insidedropbox/internal/analysis"
 	"insidedropbox/internal/classify"
 	"insidedropbox/internal/dnssim"
+	"insidedropbox/internal/fleet"
 	"insidedropbox/internal/traces"
 	"insidedropbox/internal/wire"
 	"insidedropbox/internal/workload"
@@ -70,17 +72,45 @@ func SmallScale() ScaleConfig {
 	return ScaleConfig{Campus1: 0.4, Campus2: 0.08, Home1: 0.03, Home2: 0.03}
 }
 
-// RunCampaign generates all four vantage points.
-func RunCampaign(seed int64, sc ScaleConfig) *Campaign {
-	return &Campaign{
-		Seed: seed,
-		Datasets: []*workload.Dataset{
-			workload.Generate(workload.Campus1(sc.Campus1), seed+1),
-			workload.Generate(workload.Campus2(sc.Campus2), seed+2),
-			workload.Generate(workload.Home1(sc.Home1), seed+3),
-			workload.Generate(workload.Home2(sc.Home2), seed+4),
-		},
+// vpConfigs returns the four vantage point configs in campaign order with
+// their per-VP seed offsets (stable since the first release, so campaign
+// results are reproducible across engine versions).
+func vpConfigs(sc ScaleConfig) []workload.VPConfig {
+	return []workload.VPConfig{
+		workload.Campus1(sc.Campus1),
+		workload.Campus2(sc.Campus2),
+		workload.Home1(sc.Home1),
+		workload.Home2(sc.Home2),
 	}
+}
+
+// RunCampaign generates all four vantage points. The datasets are identical
+// to the historical sequential generator output (the fleet engine runs one
+// shard per vantage point); the vantage points themselves generate
+// concurrently.
+func RunCampaign(seed int64, sc ScaleConfig) *Campaign {
+	return RunShardedCampaign(seed, sc, fleet.Config{Shards: 1})
+}
+
+// RunShardedCampaign materializes a campaign through the fleet engine: each
+// vantage point's population is split into fc.Shards deterministic shards
+// generated on fc.Workers workers, and the four vantage points run
+// concurrently. fc.Shards == 1 reproduces RunCampaign exactly; higher shard
+// counts trade sample identity for multi-core wall-clock speed at identical
+// population sizes.
+func RunShardedCampaign(seed int64, sc ScaleConfig, fc fleet.Config) *Campaign {
+	cfgs := vpConfigs(sc)
+	datasets := make([]*workload.Dataset, len(cfgs))
+	var wg sync.WaitGroup
+	for i, cfg := range cfgs {
+		wg.Add(1)
+		go func(i int, cfg workload.VPConfig) {
+			defer wg.Done()
+			datasets[i] = fleet.Dataset(cfg, seed+int64(i)+1, fc)
+		}(i, cfg)
+	}
+	wg.Wait()
+	return &Campaign{Seed: seed, Datasets: datasets}
 }
 
 // ---------- shared helpers ----------

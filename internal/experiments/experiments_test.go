@@ -5,6 +5,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"insidedropbox/internal/fleet"
 )
 
 // sharedCampaign builds one small campaign for all tests in this package.
@@ -331,6 +333,61 @@ func TestTestbedDissection(t *testing.T) {
 	}
 	if !strings.Contains(tb.Figure19.Text, "Handshake") {
 		t.Errorf("fig 19 should annotate TLS handshake packets:\n%s", tb.Figure19.Text)
+	}
+}
+
+func TestFleetCampaignStreaming(t *testing.T) {
+	sc := ScaleConfig{Campus1: 0.2, Campus2: 0.04, Home1: 0.01, Home2: 0.01}
+
+	// The streaming report with one shard must describe exactly the
+	// datasets the materializing path builds.
+	rep := RunFleetCampaign(5, sc, fleet.Config{Shards: 1})
+	camp := RunCampaign(5, sc)
+	if len(rep.VPs) != len(camp.Datasets) {
+		t.Fatalf("fleet report has %d VPs, campaign %d", len(rep.VPs), len(camp.Datasets))
+	}
+	for i, vp := range rep.VPs {
+		ds := camp.Datasets[i]
+		if vp.Stats.Cfg.Name != ds.Cfg.Name {
+			t.Fatalf("VP %d order mismatch: %s vs %s", i, vp.Stats.Cfg.Name, ds.Cfg.Name)
+		}
+		if int(vp.Summary.Flows) != len(ds.Records) {
+			t.Errorf("%s: streamed %d flows, materialized %d", ds.Cfg.Name, vp.Summary.Flows, len(ds.Records))
+		}
+		if vp.Stats.Devices != ds.DropboxDevices || vp.Stats.Households != ds.DropboxHouseholds {
+			t.Errorf("%s: ground truth differs: %d/%d vs %d/%d", ds.Cfg.Name,
+				vp.Stats.Devices, vp.Stats.Households, ds.DropboxDevices, ds.DropboxHouseholds)
+		}
+		if len(vp.Summary.Devices) > vp.Stats.Devices {
+			t.Errorf("%s: counted %d devices, ground truth %d", ds.Cfg.Name,
+				len(vp.Summary.Devices), vp.Stats.Devices)
+		}
+	}
+
+	// Sharded streaming renders a complete result.
+	res := RunFleetCampaign(5, sc, fleet.Config{Shards: 6}).Result()
+	if res.ID != "fleet" || res.Text == "" {
+		t.Fatalf("incomplete fleet result: %+v", res.ID)
+	}
+	if res.Metrics["flows_total"] < 1000 {
+		t.Errorf("fleet flows_total = %.0f", res.Metrics["flows_total"])
+	}
+	for _, vp := range []string{"campus1", "campus2", "home1", "home2"} {
+		if res.Metrics["devices_"+vp] <= 0 {
+			t.Errorf("no devices counted for %s", vp)
+		}
+	}
+}
+
+func TestShardedCampaignMatchesRunCampaign(t *testing.T) {
+	sc := ScaleConfig{Campus1: 0.15, Campus2: 0.03, Home1: 0.01, Home2: 0.01}
+	a := RunCampaign(7, sc)
+	b := RunShardedCampaign(7, sc, fleet.Config{Shards: 1, Workers: 2})
+	for i := range a.Datasets {
+		if len(a.Datasets[i].Records) != len(b.Datasets[i].Records) {
+			t.Fatalf("%s: %d vs %d records", a.Datasets[i].Cfg.Name,
+				len(a.Datasets[i].Records), len(b.Datasets[i].Records))
+		}
 	}
 }
 

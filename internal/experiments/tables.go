@@ -2,11 +2,13 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"insidedropbox/internal/analysis"
 	"insidedropbox/internal/classify"
 	"insidedropbox/internal/dnssim"
+	"insidedropbox/internal/fleet"
 	"insidedropbox/internal/workload"
 )
 
@@ -95,8 +97,21 @@ func Table3(c *Campaign) *Result {
 // quantification of the bundling deployment.
 func Table4(seed int64, scale float64) *Result {
 	res := newResult("table4", "Table 4: Campus 1 before and after the bundling deployment")
-	before := workload.Generate(workload.Campus1(scale), seed+10)
-	after := workload.Generate(workload.Campus1JunJul(scale), seed+11)
+	// Both campaigns route through the fleet engine with one shard, so the
+	// records match the historical sequential generator while the two
+	// populations generate concurrently.
+	var before, after *workload.Dataset
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		before = fleet.Dataset(workload.Campus1(scale), seed+10, fleet.Config{Shards: 1})
+	}()
+	go func() {
+		defer wg.Done()
+		after = fleet.Dataset(workload.Campus1JunJul(scale), seed+11, fleet.Config{Shards: 1})
+	}()
+	wg.Wait()
 
 	type stats struct {
 		medSize, avgSize, medTp, avgTp map[classify.Direction]float64

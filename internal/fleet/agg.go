@@ -1,0 +1,309 @@
+package fleet
+
+import (
+	"math"
+	"time"
+
+	"insidedropbox/internal/classify"
+	"insidedropbox/internal/dnssim"
+	"insidedropbox/internal/traces"
+	"insidedropbox/internal/wire"
+	"insidedropbox/internal/workload"
+)
+
+// Aggregator is a mergeable streaming Sink. Merge folds another aggregator
+// of the same concrete type into the receiver; the engine merges in shard
+// order, so merged results are bit-identical across worker counts.
+type Aggregator interface {
+	Sink
+	Merge(other Aggregator)
+}
+
+// Aggregate runs a fleet generation feeding one aggregator per shard and
+// returns the shard-ordered merge. This is the bounded-memory path: no
+// record outlives its Consume call unless the aggregator keeps it.
+func Aggregate(vp workload.VPConfig, seed int64, fc Config, newAgg func(shard int) Aggregator) (Aggregator, VPStats) {
+	stats, sinks := RunVP(vp, seed, fc, func(sh int) Sink { return newAgg(sh) })
+	root := sinks[0].(Aggregator)
+	for _, s := range sinks[1:] {
+		root.Merge(s.(Aggregator))
+	}
+	return root, stats
+}
+
+// ---------- online histogram / quantile summary ----------
+
+// histDecades spans 1 byte to 10 TB; histPerDecade sets resolution. Bucket
+// width is a constant ratio, so quantile error is bounded by ~half a bucket
+// (≈9% relative) at O(1) memory, and merging is exact (bucket-wise sums).
+const (
+	histDecades   = 13
+	histPerDecade = 16
+	histBuckets   = histDecades * histPerDecade
+)
+
+// LogHist is an online log-spaced histogram over positive values. The zero
+// value is ready to use. It supports exact merging and approximate
+// quantiles — the streaming replacement for sort-the-whole-slice
+// percentile scans.
+type LogHist struct {
+	buckets [histBuckets + 1]uint64 // +1 overflow bucket
+	count   uint64
+	sum     float64
+	min     float64
+	max     float64
+}
+
+func histBucket(v float64) int {
+	if v < 1 {
+		return 0
+	}
+	b := int(math.Log10(v) * histPerDecade)
+	if b < 0 {
+		b = 0
+	}
+	if b > histBuckets {
+		b = histBuckets
+	}
+	return b
+}
+
+// Observe adds one value. Non-positive values count toward bucket 0.
+func (h *LogHist) Observe(v float64) {
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.buckets[histBucket(v)]++
+}
+
+// Count returns the number of observations.
+func (h *LogHist) Count() uint64 { return h.count }
+
+// Sum returns the sum of observations.
+func (h *LogHist) Sum() float64 { return h.sum }
+
+// Mean returns the average observation (0 when empty).
+func (h *LogHist) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Min and Max return the observed extremes (0 when empty).
+func (h *LogHist) Min() float64 { return h.min }
+func (h *LogHist) Max() float64 { return h.max }
+
+// Quantile returns the approximate q-quantile (q in [0,1]): the geometric
+// midpoint of the bucket holding the q-th observation, clamped to the
+// observed min/max.
+func (h *LogHist) Quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(h.count-1))
+	var seen uint64
+	for b, n := range h.buckets {
+		seen += n
+		if n > 0 && seen > rank {
+			lo := math.Pow(10, float64(b)/histPerDecade)
+			hi := lo * math.Pow(10, 1.0/histPerDecade)
+			v := math.Sqrt(lo * hi)
+			return math.Min(math.Max(v, h.min), h.max)
+		}
+	}
+	return h.max
+}
+
+// MergeHist folds another histogram in (exact).
+func (h *LogHist) MergeHist(o *LogHist) {
+	if o.count == 0 {
+		return
+	}
+	if h.count == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.count += o.count
+	h.sum += o.sum
+	for i := range h.buckets {
+		h.buckets[i] += o.buckets[i]
+	}
+}
+
+// ---------- campaign summary aggregator ----------
+
+// Summary is the standard streaming aggregate of one vantage point: per-day
+// volume accumulators, online flow-size histograms, and device / namespace
+// / household counters. Memory is O(days + devices), independent of the
+// number of flow records.
+type Summary struct {
+	Days int
+
+	// Flow and byte totals over all providers.
+	Flows              int64
+	BytesUp, BytesDown int64
+
+	// Per-campaign-day volume accumulators (up+down payload bytes).
+	DayVolume        []float64
+	DropboxDayVolume []float64
+
+	// Dropbox flow counts and client-storage payload totals.
+	DropboxFlows              int64
+	StoreBytes, RetrieveBytes int64
+	StoreFlows, RetrieveFlows int64
+	StoreSizes, RetrieveSizes LogHist // per-flow payload distributions
+	ControlFlows, NotifyFlows int64
+	StorageServers            map[wire.IP]struct{}
+
+	// Population counters recovered from the notification protocol.
+	Devices    map[uint64]struct{}
+	Namespaces map[uint32]struct{}
+	Households map[wire.IP]struct{}
+}
+
+// NewSummary builds a Summary for a campaign of the given length.
+func NewSummary(days int) *Summary {
+	return &Summary{
+		Days:             days,
+		DayVolume:        make([]float64, days),
+		DropboxDayVolume: make([]float64, days),
+		StorageServers:   make(map[wire.IP]struct{}),
+		Devices:          make(map[uint64]struct{}),
+		Namespaces:       make(map[uint32]struct{}),
+		Households:       make(map[wire.IP]struct{}),
+	}
+}
+
+// Consume implements Sink.
+func (s *Summary) Consume(r *traces.FlowRecord) {
+	s.Flows++
+	s.BytesUp += r.BytesUp
+	s.BytesDown += r.BytesDown
+	isDropbox := classify.ProviderOf(r) == classify.ProvDropbox
+	if d := int(r.FirstPacket / (24 * time.Hour)); d >= 0 && d < s.Days {
+		s.DayVolume[d] += float64(r.BytesUp + r.BytesDown)
+		if isDropbox {
+			s.DropboxDayVolume[d] += float64(r.BytesUp + r.BytesDown)
+		}
+	}
+	if !isDropbox {
+		return
+	}
+	s.DropboxFlows++
+	if r.NotifyHost != 0 {
+		s.NotifyFlows++
+		s.Households[r.Client] = struct{}{}
+		s.Devices[r.NotifyHost] = struct{}{}
+		for _, ns := range r.NotifyNamespaces {
+			s.Namespaces[ns] = struct{}{}
+		}
+		return
+	}
+	svc := classify.DropboxService(r)
+	if svc != dnssim.SvcClientStorage {
+		s.ControlFlows++
+		return
+	}
+	s.StorageServers[r.Server] = struct{}{}
+	switch classify.TagStorage(r) {
+	case classify.DirStore:
+		p := classify.Payload(r, classify.DirStore)
+		s.StoreFlows++
+		s.StoreBytes += p
+		s.StoreSizes.Observe(float64(p))
+	case classify.DirRetrieve:
+		p := classify.Payload(r, classify.DirRetrieve)
+		s.RetrieveFlows++
+		s.RetrieveBytes += p
+		s.RetrieveSizes.Observe(float64(p))
+	default:
+		s.ControlFlows++
+	}
+}
+
+// Merge implements Aggregator.
+func (s *Summary) Merge(other Aggregator) {
+	o := other.(*Summary)
+	s.Flows += o.Flows
+	s.BytesUp += o.BytesUp
+	s.BytesDown += o.BytesDown
+	for d := 0; d < s.Days && d < o.Days; d++ {
+		s.DayVolume[d] += o.DayVolume[d]
+		s.DropboxDayVolume[d] += o.DropboxDayVolume[d]
+	}
+	s.DropboxFlows += o.DropboxFlows
+	s.StoreBytes += o.StoreBytes
+	s.RetrieveBytes += o.RetrieveBytes
+	s.StoreFlows += o.StoreFlows
+	s.RetrieveFlows += o.RetrieveFlows
+	s.StoreSizes.MergeHist(&o.StoreSizes)
+	s.RetrieveSizes.MergeHist(&o.RetrieveSizes)
+	s.ControlFlows += o.ControlFlows
+	s.NotifyFlows += o.NotifyFlows
+	for k := range o.StorageServers {
+		s.StorageServers[k] = struct{}{}
+	}
+	for k := range o.Devices {
+		s.Devices[k] = struct{}{}
+	}
+	for k := range o.Namespaces {
+		s.Namespaces[k] = struct{}{}
+	}
+	for k := range o.Households {
+		s.Households[k] = struct{}{}
+	}
+}
+
+// PeakDay returns the campaign day with the highest total volume.
+func (s *Summary) PeakDay() int {
+	best, bestV := 0, -1.0
+	for d, v := range s.DayVolume {
+		if v > bestV {
+			best, bestV = d, v
+		}
+	}
+	return best
+}
+
+// Metrics flattens the summary into the named-metric form the experiment
+// harness consumes. All values are exact except the histogram quantiles.
+func (s *Summary) Metrics() map[string]float64 {
+	return map[string]float64{
+		"flows":           float64(s.Flows),
+		"bytes_up":        float64(s.BytesUp),
+		"bytes_down":      float64(s.BytesDown),
+		"dropbox_flows":   float64(s.DropboxFlows),
+		"store_flows":     float64(s.StoreFlows),
+		"retrieve_flows":  float64(s.RetrieveFlows),
+		"store_bytes":     float64(s.StoreBytes),
+		"retrieve_bytes":  float64(s.RetrieveBytes),
+		"control_flows":   float64(s.ControlFlows),
+		"notify_flows":    float64(s.NotifyFlows),
+		"devices":         float64(len(s.Devices)),
+		"namespaces":      float64(len(s.Namespaces)),
+		"households":      float64(len(s.Households)),
+		"storage_servers": float64(len(s.StorageServers)),
+		"store_median":    s.StoreSizes.Quantile(0.5),
+		"store_p90":       s.StoreSizes.Quantile(0.9),
+		"retrieve_median": s.RetrieveSizes.Quantile(0.5),
+		"retrieve_p90":    s.RetrieveSizes.Quantile(0.9),
+		"peak_day":        float64(s.PeakDay()),
+	}
+}
+
+// Summarize is the one-call streaming pipeline: generate a vantage point
+// through the sharded engine and fold every record into a Summary without
+// ever materializing the dataset.
+func Summarize(vp workload.VPConfig, seed int64, fc Config) (*Summary, VPStats) {
+	days := vp.Days
+	agg, stats := Aggregate(vp, seed, fc, func(int) Aggregator { return NewSummary(days) })
+	return agg.(*Summary), stats
+}

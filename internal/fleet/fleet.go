@@ -1,0 +1,189 @@
+// Package fleet is the sharded, streaming campaign engine that scales
+// vantage-point simulations from thousands to millions of devices.
+//
+// The legacy workload generator runs one rng stream over the whole
+// population and materializes every flow record in a single slice, which
+// caps campaigns at what fits in memory on one core. Fleet instead
+// partitions a population deterministically into shards (workload.ShardRange)
+// with per-shard seeds (workload.ShardSeed), runs the shards concurrently on
+// a bounded worker pool, and streams the generated records into per-shard
+// sinks that are merged in shard-index order once all workers finish.
+//
+// The determinism contract:
+//
+//   - (seed, shard, nshards) fully determines a shard's record stream —
+//     the worker count never changes any output, only wall-clock time;
+//   - merges always happen in shard-index order, so even floating-point
+//     aggregates are bit-identical across worker counts;
+//   - a 1-shard run reproduces the legacy sequential workload.Generate
+//     output exactly.
+//
+// On the streaming path (Aggregate, StreamOrdered) memory stays bounded
+// regardless of population size: records are consumed as they are
+// generated and never accumulated.
+package fleet
+
+import (
+	"runtime"
+	"sync"
+
+	"insidedropbox/internal/traces"
+	"insidedropbox/internal/workload"
+)
+
+// Config sizes a sharded fleet run.
+type Config struct {
+	// Shards is the number of deterministic population partitions. The
+	// shard count is part of the experiment definition: shard k draws
+	// from an independent stream seeded by workload.ShardSeed(seed, k),
+	// so changing Shards changes the generated population sample, while
+	// changing Workers never does.
+	Shards int
+
+	// Workers bounds how many shards generate concurrently. Zero means
+	// GOMAXPROCS. Workers only affects wall-clock time, never results.
+	Workers int
+
+	// DevicesScale multiplies the vantage point's subscriber population
+	// (VPConfig.TotalIPs) before sharding; zero or negative means 1.0.
+	// This is how campaigns grow 10-1000x beyond the paper's populations
+	// without touching the calibrated per-VP configs.
+	DevicesScale float64
+}
+
+func (c Config) normalized() Config {
+	if c.Shards < 1 {
+		c.Shards = 1
+	}
+	if c.Shards > workload.MaxShards {
+		c.Shards = workload.MaxShards
+	}
+	if c.Workers < 1 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Workers > c.Shards {
+		c.Workers = c.Shards
+	}
+	if c.DevicesScale <= 0 {
+		c.DevicesScale = 1
+	}
+	return c
+}
+
+// apply scales the vantage point population per DevicesScale.
+func (c Config) apply(vp workload.VPConfig) workload.VPConfig {
+	if c.DevicesScale != 1 {
+		vp.TotalIPs = int(float64(vp.TotalIPs) * c.DevicesScale)
+		if vp.TotalIPs < 1 {
+			vp.TotalIPs = 1
+		}
+	}
+	return vp
+}
+
+// Sink consumes one shard's record stream. The engine builds one sink per
+// shard and never shares one across goroutines, so implementations need no
+// locking.
+type Sink interface {
+	Consume(*traces.FlowRecord)
+}
+
+// VPStats is the merged ground truth of one vantage point's fleet run.
+type VPStats struct {
+	// Cfg is the effective config after DevicesScale.
+	Cfg    workload.VPConfig
+	Shards int
+
+	// Records counts emitted flow records across all shards.
+	Records int
+	// Households and Devices are the generated Dropbox ground truth.
+	Households, Devices int
+
+	// Population-level per-day background volumes (from shard 0).
+	BackgroundByDay, YouTubeByDay []float64
+}
+
+// RunVP executes one vantage point across fc.Shards shards on a bounded
+// worker pool. newSink is called once per shard, up front, from the calling
+// goroutine; each sink then receives exactly its shard's records, from a
+// single worker goroutine. Sinks are returned in shard order so callers can
+// merge deterministically. RunVP itself blocks until every shard finished.
+func RunVP(vp workload.VPConfig, seed int64, fc Config, newSink func(shard int) Sink) (VPStats, []Sink) {
+	fc = fc.normalized()
+	vp = fc.apply(vp)
+
+	sinks := make([]Sink, fc.Shards)
+	for i := range sinks {
+		sinks[i] = newSink(i)
+	}
+	stats := make([]workload.ShardStats, fc.Shards)
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < fc.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for sh := range jobs {
+				stats[sh] = workload.GenerateShard(vp, seed, sh, fc.Shards, sinks[sh].Consume)
+			}
+		}()
+	}
+	for sh := 0; sh < fc.Shards; sh++ {
+		jobs <- sh
+	}
+	close(jobs)
+	wg.Wait()
+
+	return mergeStats(vp, fc, stats), sinks
+}
+
+// mergeStats folds per-shard stats in shard-index order.
+func mergeStats(vp workload.VPConfig, fc Config, stats []workload.ShardStats) VPStats {
+	var merged workload.ShardStats
+	for _, s := range stats {
+		merged.Merge(s)
+	}
+	return VPStats{
+		Cfg:             vp,
+		Shards:          fc.Shards,
+		Records:         merged.Records,
+		Households:      merged.Households,
+		Devices:         merged.Devices,
+		BackgroundByDay: merged.BackgroundByDay,
+		YouTubeByDay:    merged.YouTubeByDay,
+	}
+}
+
+// RecordBuffer is a Sink that materializes its shard's records — the
+// compatibility path for consumers that need a full workload.Dataset.
+type RecordBuffer struct {
+	Records []*traces.FlowRecord
+}
+
+// Consume appends one record.
+func (b *RecordBuffer) Consume(r *traces.FlowRecord) { b.Records = append(b.Records, r) }
+
+// Dataset materializes a sharded run as a legacy workload.Dataset: shard
+// buffers are concatenated in shard order and sorted by first-packet time.
+// With fc.Shards == 1 the result is bit-identical to workload.Generate
+// (the regression test pins this).
+func Dataset(vp workload.VPConfig, seed int64, fc Config) *workload.Dataset {
+	stats, sinks := RunVP(vp, seed, fc, func(int) Sink { return &RecordBuffer{} })
+	var recs []*traces.FlowRecord
+	if stats.Records > 0 {
+		recs = make([]*traces.FlowRecord, 0, stats.Records)
+	}
+	for _, s := range sinks {
+		recs = append(recs, s.(*RecordBuffer).Records...)
+	}
+	workload.SortRecords(recs)
+	return &workload.Dataset{
+		Cfg:               stats.Cfg,
+		Records:           recs,
+		BackgroundByDay:   stats.BackgroundByDay,
+		YouTubeByDay:      stats.YouTubeByDay,
+		DropboxHouseholds: stats.Households,
+		DropboxDevices:    stats.Devices,
+	}
+}

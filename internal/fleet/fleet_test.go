@@ -1,0 +1,328 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"insidedropbox/internal/traces"
+	"insidedropbox/internal/wire"
+	"insidedropbox/internal/workload"
+)
+
+// TestOneShardMatchesLegacyGenerate pins the regression contract: a 1-shard
+// fleet run reproduces the sequential workload.Generate output bit for bit,
+// whatever the worker setting.
+func TestOneShardMatchesLegacyGenerate(t *testing.T) {
+	cfg := workload.Home1(0.03)
+	legacy := workload.Generate(cfg, 42)
+	fl := Dataset(cfg, 42, Config{Shards: 1, Workers: 4})
+
+	if len(fl.Records) != len(legacy.Records) {
+		t.Fatalf("record counts differ: fleet %d vs legacy %d", len(fl.Records), len(legacy.Records))
+	}
+	for i := range legacy.Records {
+		if !reflect.DeepEqual(*fl.Records[i], *legacy.Records[i]) {
+			t.Fatalf("record %d differs:\nfleet  %+v\nlegacy %+v", i, *fl.Records[i], *legacy.Records[i])
+		}
+	}
+	if !reflect.DeepEqual(fl.BackgroundByDay, legacy.BackgroundByDay) ||
+		!reflect.DeepEqual(fl.YouTubeByDay, legacy.YouTubeByDay) {
+		t.Fatal("background arrays differ")
+	}
+	if fl.DropboxHouseholds != legacy.DropboxHouseholds || fl.DropboxDevices != legacy.DropboxDevices {
+		t.Fatalf("ground truth differs: %d/%d vs %d/%d",
+			fl.DropboxHouseholds, fl.DropboxDevices, legacy.DropboxHouseholds, legacy.DropboxDevices)
+	}
+}
+
+// TestWorkerCountInvariance pins the core determinism contract: with the
+// shard count fixed, the worker count must not change any output — neither
+// the materialized records nor any merged aggregate metric, floats included.
+func TestWorkerCountInvariance(t *testing.T) {
+	cfg := workload.Home1(0.02)
+	const shards = 7
+
+	workers := []int{1, 4, runtime.GOMAXPROCS(0)}
+	var baseDS *workload.Dataset
+	var baseMetrics map[string]float64
+	for _, w := range workers {
+		fc := Config{Shards: shards, Workers: w}
+		ds := Dataset(cfg, 9, fc)
+		sum, stats := Summarize(cfg, 9, fc)
+		if stats.Records != len(ds.Records) {
+			t.Fatalf("workers=%d: stats records %d != dataset %d", w, stats.Records, len(ds.Records))
+		}
+		m := sum.Metrics()
+		if baseDS == nil {
+			baseDS, baseMetrics = ds, m
+			continue
+		}
+		if len(ds.Records) != len(baseDS.Records) {
+			t.Fatalf("workers=%d: %d records, want %d", w, len(ds.Records), len(baseDS.Records))
+		}
+		for i := range ds.Records {
+			if !reflect.DeepEqual(*ds.Records[i], *baseDS.Records[i]) {
+				t.Fatalf("workers=%d: record %d differs", w, i)
+			}
+		}
+		if !reflect.DeepEqual(m, baseMetrics) {
+			t.Fatalf("workers=%d: aggregate metrics differ:\n%v\nvs\n%v", w, m, baseMetrics)
+		}
+	}
+}
+
+// TestStreamOrderedMatchesDataset checks the bounded-buffer streaming path
+// delivers exactly the Dataset record set, in canonical shard order.
+func TestStreamOrderedMatchesDataset(t *testing.T) {
+	cfg := workload.Campus2(0.05)
+	fc := Config{Shards: 5, Workers: 3}
+
+	var streamed []*traces.FlowRecord
+	stats := StreamOrdered(cfg, 3, fc, func(r *traces.FlowRecord) {
+		streamed = append(streamed, r)
+	})
+	if stats.Records != len(streamed) {
+		t.Fatalf("stats records %d != streamed %d", stats.Records, len(streamed))
+	}
+
+	ds := Dataset(cfg, 3, fc)
+	if len(ds.Records) != len(streamed) {
+		t.Fatalf("streamed %d records, dataset has %d", len(streamed), len(ds.Records))
+	}
+	workload.SortRecords(streamed)
+	for i := range streamed {
+		if !reflect.DeepEqual(*streamed[i], *ds.Records[i]) {
+			t.Fatalf("record %d differs between streaming and dataset paths", i)
+		}
+	}
+}
+
+// TestShardingChangesSampleNotScale: different shard counts draw different
+// population samples (per-shard seeds) but the same population size, so
+// headline aggregates stay in the same regime.
+func TestShardingChangesSampleNotScale(t *testing.T) {
+	cfg := workload.Home1(0.03)
+	s1, st1 := Summarize(cfg, 11, Config{Shards: 1})
+	s8, st8 := Summarize(cfg, 11, Config{Shards: 8})
+	if st1.Cfg.TotalIPs != st8.Cfg.TotalIPs {
+		t.Fatalf("population size changed with shard count: %d vs %d", st1.Cfg.TotalIPs, st8.Cfg.TotalIPs)
+	}
+	if s1.Flows == s8.Flows {
+		t.Log("1-shard and 8-shard runs drew identical flow counts (possible but unlikely)")
+	}
+	ratio := float64(s8.Flows) / float64(s1.Flows)
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Fatalf("8-shard sample out of regime: %d vs %d flows", s8.Flows, s1.Flows)
+	}
+	if st8.Households == 0 || st8.Devices == 0 {
+		t.Fatal("sharded run lost ground-truth counters")
+	}
+}
+
+func TestShardRangePartition(t *testing.T) {
+	for _, tc := range []struct{ total, shards int }{
+		{0, 1}, {1, 1}, {10, 1}, {10, 3}, {10, 10}, {10, 16}, {1000, 7}, {250, 8},
+	} {
+		next := 0
+		for sh := 0; sh < tc.shards; sh++ {
+			lo, hi := workload.ShardRange(tc.total, sh, tc.shards)
+			if lo != next {
+				t.Fatalf("total=%d shards=%d: shard %d starts at %d, want %d", tc.total, tc.shards, sh, lo, next)
+			}
+			if hi < lo {
+				t.Fatalf("total=%d shards=%d: shard %d inverted range [%d,%d)", tc.total, tc.shards, sh, lo, hi)
+			}
+			if size := hi - lo; size > tc.total/tc.shards+1 {
+				t.Fatalf("total=%d shards=%d: shard %d oversized (%d)", tc.total, tc.shards, sh, size)
+			}
+			next = hi
+		}
+		if next != tc.total {
+			t.Fatalf("total=%d shards=%d: ranges cover [0,%d), want [0,%d)", tc.total, tc.shards, next, tc.total)
+		}
+	}
+}
+
+func TestShardSeedsDecorrelated(t *testing.T) {
+	seen := map[int64]int{}
+	for sh := 0; sh < 128; sh++ {
+		s := workload.ShardSeed(77, sh)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("shards %d and %d share seed %d", prev, sh, s)
+		}
+		seen[s] = sh
+	}
+	if workload.ShardSeed(77, 0) != 77 {
+		t.Fatal("shard 0 must keep the root seed (legacy compatibility)")
+	}
+	if workload.ShardSeed(77, 1) == workload.ShardSeed(78, 1) {
+		t.Fatal("shard seeds must depend on the campaign seed")
+	}
+}
+
+func TestDevicesScale(t *testing.T) {
+	cfg := workload.Home1(0.02)
+	_, stats := Summarize(cfg, 5, Config{Shards: 4, DevicesScale: 3})
+	if want := cfg.TotalIPs * 3; stats.Cfg.TotalIPs != want {
+		t.Fatalf("DevicesScale=3: TotalIPs = %d, want %d", stats.Cfg.TotalIPs, want)
+	}
+	_, unscaled := Summarize(cfg, 5, Config{Shards: 4})
+	if unscaled.Cfg.TotalIPs != cfg.TotalIPs {
+		t.Fatalf("default scale changed population: %d vs %d", unscaled.Cfg.TotalIPs, cfg.TotalIPs)
+	}
+}
+
+// TestSubscriberIPsDistinctAtScale guards the large-population address
+// layout: the legacy formula wrapped at 64k subscribers, silently merging
+// households exactly where DevicesScale operates.
+func TestSubscriberIPsDistinctAtScale(t *testing.T) {
+	seen := make(map[wire.IP]int, 200_000)
+	for i := 0; i < 200_000; i++ {
+		ip := workload.SubscriberIP(57, i)
+		if prev, dup := seen[ip]; dup {
+			t.Fatalf("subscribers %d and %d share address %v", prev, i, ip)
+		}
+		seen[ip] = i
+	}
+	// Legacy layout preserved below the first block boundary.
+	if workload.SubscriberIP(57, 12345) != wire.MakeIP(10, 57, 49, 95) {
+		t.Fatal("small-index addresses diverged from the legacy layout")
+	}
+}
+
+// TestShardCapEnforced pins the namespace-block safety bound: the engine
+// clamps to workload.MaxShards instead of letting uint32 namespace blocks
+// wrap and collide.
+func TestShardCapEnforced(t *testing.T) {
+	_, stats := Summarize(workload.Campus1(0.05), 1, Config{Shards: workload.MaxShards * 4})
+	if stats.Shards != workload.MaxShards {
+		t.Fatalf("shards = %d, want clamped to %d", stats.Shards, workload.MaxShards)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("GenerateShard accepted nshards above MaxShards")
+		}
+	}()
+	workload.GenerateShard(workload.Campus1(0.05), 1, 0, workload.MaxShards+1, func(*traces.FlowRecord) {})
+}
+
+func TestLogHistQuantiles(t *testing.T) {
+	var h LogHist
+	for v := 1.0; v <= 1000; v++ {
+		h.Observe(v)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	med := h.Quantile(0.5)
+	if med < 400 || med > 625 {
+		t.Fatalf("median of 1..1000 = %g, want within a bucket of 500", med)
+	}
+	if h.Quantile(0) < 1 || h.Quantile(1) != 1000 {
+		t.Fatalf("extremes: q0=%g q1=%g", h.Quantile(0), h.Quantile(1))
+	}
+	if h.Min() != 1 || h.Max() != 1000 {
+		t.Fatalf("min/max: %g/%g", h.Min(), h.Max())
+	}
+	if math.Abs(h.Mean()-500.5) > 1e-9 {
+		t.Fatalf("mean = %g", h.Mean())
+	}
+}
+
+func TestLogHistMergeEquivalence(t *testing.T) {
+	var all, a, b LogHist
+	for i := 0; i < 5000; i++ {
+		v := math.Pow(10, float64(i%11)) * float64(1+i%7)
+		all.Observe(v)
+		if i%2 == 0 {
+			a.Observe(v)
+		} else {
+			b.Observe(v)
+		}
+	}
+	a.MergeHist(&b)
+	if !reflect.DeepEqual(a, all) {
+		t.Fatal("merged histogram differs from single-stream histogram")
+	}
+}
+
+// countingSink verifies the streaming path never materializes: it tracks
+// only a running count and the high-water mark of buffered records implied
+// by the bounded window (which we can't observe directly, so we just assert
+// the stream arrives and the sink kept nothing).
+type countingSink struct{ n int }
+
+func (c *countingSink) Consume(*traces.FlowRecord) { c.n++ }
+
+// TestAggregateScalesWithBoundedMemory runs a population roughly 10x the
+// dropsim default (-scale 0.05) through the streaming path. The path keeps
+// no records by construction; this test pins that it completes and that the
+// aggregates carry the expected population growth.
+func TestAggregateScalesWithBoundedMemory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large population")
+	}
+	cfg := workload.Home1(0.05)
+	fc := Config{Shards: 4 * runtime.GOMAXPROCS(0), DevicesScale: 10}
+	sum, stats := Summarize(cfg, 2012, fc)
+	if stats.Cfg.TotalIPs < 9000 {
+		t.Fatalf("population too small for a scale test: %d IPs", stats.Cfg.TotalIPs)
+	}
+	if sum.Flows < 100_000 {
+		t.Fatalf("suspiciously few flows at 10x scale: %d", sum.Flows)
+	}
+	if got, want := len(sum.Devices), stats.Devices; got > want {
+		t.Fatalf("summary counted %d devices, ground truth only %d", got, want)
+	}
+	if sum.StoreFlows == 0 || sum.RetrieveFlows == 0 {
+		t.Fatal("streaming aggregation lost storage flows")
+	}
+}
+
+func TestRunVPSinkPerShard(t *testing.T) {
+	cfg := workload.Campus1(0.1)
+	var made []int
+	_, sinks := RunVP(cfg, 1, Config{Shards: 6, Workers: 2}, func(sh int) Sink {
+		made = append(made, sh)
+		return &countingSink{}
+	})
+	if want := []int{0, 1, 2, 3, 4, 5}; !reflect.DeepEqual(made, want) {
+		t.Fatalf("sinks built as %v, want %v", made, want)
+	}
+	total := 0
+	for _, s := range sinks {
+		total += s.(*countingSink).n
+	}
+	if total == 0 {
+		t.Fatal("no records streamed to sinks")
+	}
+}
+
+// BenchmarkShardedGeneration compares sequential materializing generation
+// against sharded streaming aggregation of the same population.
+func BenchmarkShardedGeneration(b *testing.B) {
+	for _, scale := range []float64{0.05, 0.2} {
+		cfg := workload.Home1(scale)
+		b.Run(fmt.Sprintf("scale=%.2f/sequential", scale), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ds := workload.Generate(cfg, int64(i))
+				if len(ds.Records) == 0 {
+					b.Fatal("empty")
+				}
+			}
+		})
+		for _, shards := range []int{4, 16} {
+			b.Run(fmt.Sprintf("scale=%.2f/shards=%d", scale, shards), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					sum, _ := Summarize(cfg, int64(i), Config{Shards: shards})
+					if sum.Flows == 0 {
+						b.Fatal("empty")
+					}
+				}
+			})
+		}
+	}
+}

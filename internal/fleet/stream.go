@@ -1,0 +1,71 @@
+package fleet
+
+import (
+	"insidedropbox/internal/traces"
+	"insidedropbox/internal/workload"
+)
+
+// streamBuf is the per-shard channel capacity on the ordered streaming
+// path: a producing worker runs at most this many records ahead of the
+// consumer before blocking.
+const streamBuf = 1024
+
+// StreamOrdered runs a sharded generation and delivers every record to emit
+// in canonical order — shard 0's records first (in generation order), then
+// shard 1's, and so on — while shards execute concurrently on the worker
+// pool. emit runs on the calling goroutine.
+//
+// Memory stays bounded regardless of population size: shards are admitted
+// in index order through a window of Workers+1 tokens, so at most
+// Workers+1 shards are generating or parked ahead of the consumer, each
+// buffering at most streamBuf records before its producer blocks. No shard
+// output is ever fully materialized.
+func StreamOrdered(vp workload.VPConfig, seed int64, fc Config, emit func(*traces.FlowRecord)) VPStats {
+	fc = fc.normalized()
+	vp = fc.apply(vp)
+
+	chans := make([]chan *traces.FlowRecord, fc.Shards)
+	for i := range chans {
+		chans[i] = make(chan *traces.FlowRecord, streamBuf)
+	}
+	stats := make([]workload.ShardStats, fc.Shards)
+
+	// Admission happens in shard order on the dispatcher, so the shard the
+	// consumer is waiting on always holds a token and is running: the
+	// window bounds buffering without ever deadlocking.
+	window := make(chan struct{}, fc.Workers+1)
+	jobs := make(chan int)
+	go func() {
+		for sh := 0; sh < fc.Shards; sh++ {
+			window <- struct{}{}
+			jobs <- sh
+		}
+		close(jobs)
+	}()
+
+	done := make(chan struct{})
+	for w := 0; w < fc.Workers; w++ {
+		go func() {
+			for sh := range jobs {
+				ch := chans[sh]
+				stats[sh] = workload.GenerateShard(vp, seed, sh, fc.Shards, func(r *traces.FlowRecord) {
+					ch <- r
+				})
+				close(ch)
+			}
+			done <- struct{}{}
+		}()
+	}
+
+	for sh := 0; sh < fc.Shards; sh++ {
+		for r := range chans[sh] {
+			emit(r)
+		}
+		<-window // shard fully drained: admit the next one
+	}
+	for w := 0; w < fc.Workers; w++ {
+		<-done
+	}
+
+	return mergeStats(vp, fc, stats)
+}

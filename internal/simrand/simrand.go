@@ -36,6 +36,17 @@ func (s *Source) Fork(name string) *Source {
 	return New(seed, s.name+"/"+name)
 }
 
+// DeriveSeed mixes a root seed with a stream name into an independent child
+// seed, for subsystems (such as fleet shards) that need decorrelated
+// deterministic streams without threading a shared Source through. The
+// finalizer is splitmix64's, so nearby seeds and names land far apart.
+func DeriveSeed(seed int64, name string) int64 {
+	z := uint64(seed) + fnv64(name)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
 // fnv64 is the FNV-1a hash, inlined to avoid pulling hash/fnv allocations
 // into hot paths.
 func fnv64(str string) uint64 {

@@ -71,11 +71,13 @@ type household struct {
 	devices []*device
 }
 
-// generator carries the run state.
+// generator carries the run state of one shard.
 type generator struct {
 	cfg     VPConfig
 	rng     *simrand.Source
-	ds      *Dataset
+	emit    func(*traces.FlowRecord)
+	stats   ShardStats
+	outage  map[int]bool
 	horizon time.Duration
 
 	nextHost uint64
@@ -84,32 +86,160 @@ type generator struct {
 	storagePool int // number of storage server IPs
 }
 
-// Generate produces the dataset for a vantage point.
+// ShardStats is the non-record outcome of one shard's generation: the ground
+// truth counters plus (on shard 0 only) the population-level background
+// volume arrays. Record streams flow through the emit callback instead.
+type ShardStats struct {
+	Shard   int
+	Records int // records emitted (after outage filtering)
+
+	// Ground truth for validating probe-side inference.
+	Households, Devices int
+
+	// Background arrays describe the whole vantage point population, so
+	// only shard 0 produces them (nil on every other shard).
+	BackgroundByDay []float64
+	YouTubeByDay    []float64
+}
+
+// Merge folds another shard's stats in. Call in shard-index order so merged
+// results are independent of worker scheduling.
+func (s *ShardStats) Merge(o ShardStats) {
+	s.Records += o.Records
+	s.Households += o.Households
+	s.Devices += o.Devices
+	if o.BackgroundByDay != nil {
+		s.BackgroundByDay = o.BackgroundByDay
+		s.YouTubeByDay = o.YouTubeByDay
+	}
+}
+
+// ShardSeed derives the deterministic seed of one shard from the campaign
+// seed. Shard 0 keeps the root seed unchanged so a 1-shard run reproduces
+// the legacy sequential Generate stream bit for bit.
+func ShardSeed(seed int64, shard int) int64 {
+	if shard == 0 {
+		return seed
+	}
+	return simrand.DeriveSeed(seed, fmt.Sprintf("workload/shard/%d", shard))
+}
+
+// ShardRange returns the half-open subscriber-index range [lo,hi) owned by
+// shard of nshards over a population of total IPs. Ranges are contiguous,
+// disjoint, cover [0,total), and differ in size by at most one.
+func ShardRange(total, shard, nshards int) (lo, hi int) {
+	base, rem := total/nshards, total%nshards
+	lo = shard * base
+	if shard < rem {
+		lo += shard
+	} else {
+		lo += rem
+	}
+	hi = lo + base
+	if shard < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+// hostStride / nsStride carve the device and namespace ID spaces into
+// per-shard blocks so IDs never collide across concurrently generated
+// shards. Shard 0 starts at 1, matching the legacy sequential generator.
+// MaxShards bounds the shard count so the uint32 namespace blocks stay
+// disjoint (1024 blocks of 4M namespaces each).
+const (
+	hostStride = uint64(1) << 40
+	nsStride   = uint32(1) << 22
+	MaxShards  = 1 << 10
+)
+
+// Generate produces the dataset for a vantage point: the legacy sequential
+// entry point, now a 1-shard run of the shard-callable core.
 func Generate(cfg VPConfig, seed int64) *Dataset {
+	ds := &Dataset{Cfg: cfg}
+	stats := GenerateShard(cfg, seed, 0, 1, func(r *traces.FlowRecord) {
+		ds.Records = append(ds.Records, r)
+	})
+	ds.BackgroundByDay = stats.BackgroundByDay
+	ds.YouTubeByDay = stats.YouTubeByDay
+	ds.DropboxHouseholds = stats.Households
+	ds.DropboxDevices = stats.Devices
+	SortRecords(ds.Records)
+	return ds
+}
+
+// SortRecords orders records by first-packet time, the probe export order.
+func SortRecords(rs []*traces.FlowRecord) {
+	sort.Slice(rs, func(i, j int) bool { return rs[i].FirstPacket < rs[j].FirstPacket })
+}
+
+// GenerateShard generates one shard of a vantage point population,
+// streaming records through emit in generation order (no global sort, no
+// accumulation). The population is partitioned by ShardRange; each shard
+// draws from an independent stream seeded by ShardSeed, so the output of a
+// (seed, shard, nshards) triple is a pure function — identical no matter
+// how many shards run concurrently. Probe-outage days are filtered at emit
+// time, which keeps the surviving stream identical to the legacy
+// generate-then-filter order.
+func GenerateShard(cfg VPConfig, seed int64, shard, nshards int, emit func(*traces.FlowRecord)) ShardStats {
+	if nshards < 1 {
+		nshards = 1
+	}
+	if nshards > MaxShards {
+		panic(fmt.Sprintf("workload: %d shards exceeds MaxShards (%d)", nshards, MaxShards))
+	}
+	if shard < 0 || shard >= nshards {
+		panic(fmt.Sprintf("workload: shard %d out of range [0,%d)", shard, nshards))
+	}
 	g := &generator{
 		cfg:         cfg,
-		rng:         simrand.New(seed, "workload/"+cfg.Name),
+		rng:         simrand.New(ShardSeed(seed, shard), fmt.Sprintf("workload/%s/%d.%d", cfg.Name, shard, nshards)),
+		emit:        emit,
 		horizon:     time.Duration(cfg.Days) * 24 * time.Hour,
-		nextHost:    1,
-		nextNS:      1,
+		nextHost:    1 + uint64(shard)*hostStride,
+		nextNS:      1 + uint32(shard)*nsStride,
 		storagePool: 640,
 	}
-	g.ds = &Dataset{
-		Cfg:             cfg,
-		BackgroundByDay: make([]float64, cfg.Days),
-		YouTubeByDay:    make([]float64, cfg.Days),
+	g.stats.Shard = shard
+	if len(cfg.OutageDays) > 0 {
+		g.outage = make(map[int]bool, len(cfg.OutageDays))
+		for _, d := range cfg.OutageDays {
+			g.outage[d] = true
+		}
 	}
-	g.background()
+	if shard == 0 {
+		g.stats.BackgroundByDay = make([]float64, cfg.Days)
+		g.stats.YouTubeByDay = make([]float64, cfg.Days)
+		g.background()
+	}
 	ipBase := g.rng.Intn(200)
-	for i := 0; i < cfg.TotalIPs; i++ {
-		ip := wire.MakeIP(10, byte(ipBase), byte(i/250), byte(i%250))
-		g.subscriber(ip)
+	lo, hi := ShardRange(cfg.TotalIPs, shard, nshards)
+	for i := lo; i < hi; i++ {
+		g.subscriber(SubscriberIP(ipBase, i))
 	}
-	g.applyOutages()
-	sort.Slice(g.ds.Records, func(i, j int) bool {
-		return g.ds.Records[i].FirstPacket < g.ds.Records[j].FirstPacket
-	})
-	return g.ds
+	return g.stats
+}
+
+// SubscriberIP maps a subscriber index to a stable 10/8 client address.
+// Indices below 62500 keep the legacy 10.base.i/250.i%250 layout; above
+// that, whole blocks roll into the second octet instead of silently
+// wrapping the third, so a vantage point can hold ~16M distinct addresses
+// — the regime DevicesScale targets — before 10/8 itself runs out.
+func SubscriberIP(ipBase, i int) wire.IP {
+	block, rem := i/62500, i%62500
+	return wire.MakeIP(10, byte((ipBase+block)%256), byte(rem/250), byte(rem%250))
+}
+
+// record streams one finished flow record out of the shard, dropping
+// probe-outage days (the streaming equivalent of the legacy applyOutages
+// pass: the filter is per-record, so filtering at emit time preserves both
+// the surviving set and its order).
+func (g *generator) record(r *traces.FlowRecord) {
+	if g.outage != nil && g.outage[int(r.FirstPacket/(24*time.Hour))] {
+		return
+	}
+	g.stats.Records++
+	g.emit(r)
 }
 
 // background fills the per-day non-cloud and YouTube volumes, modulated by
@@ -127,8 +257,12 @@ func (g *generator) background() {
 		factor := [7]float64(g.cfg.Week)[day] * g.cfg.Holidays.At(t)
 		vol := g.cfg.DailyBackgroundGB * 1e9 * scale * factor * g.rng.Uniform(0.92, 1.08)
 		yt := vol * g.cfg.YouTubeShare * g.rng.Uniform(0.85, 1.15)
-		g.ds.BackgroundByDay[d] = vol - yt
-		g.ds.YouTubeByDay[d] = yt
+		if g.outage[d] {
+			// Probe outage: the day records no volume at all.
+			vol, yt = 0, 0
+		}
+		g.stats.BackgroundByDay[d] = vol - yt
+		g.stats.YouTubeByDay[d] = yt
 	}
 }
 
@@ -194,8 +328,8 @@ func (g *generator) makeDropboxHousehold(ip wire.IP, access AccessKind) *househo
 		d.sessions = g.deviceSessions(hh.group)
 		hh.devices = append(hh.devices, d)
 	}
-	g.ds.DropboxHouseholds++
-	g.ds.DropboxDevices += n
+	g.stats.Households++
+	g.stats.Devices += n
 	return hh
 }
 
@@ -375,8 +509,8 @@ func (g *generator) dropboxTraffic(hh *household) {
 		for _, ev := range evs {
 			g.storageFlows(hh, dev, ev.at, ev.dir, ev.files, &mergers)
 		}
-		closeMerger(mergers[0])
-		closeMerger(mergers[1])
+		g.closeMerger(mergers[0])
+		g.closeMerger(mergers[1])
 	}
 	// Web interface / direct-link / API usage rides on the household.
 	if g.rng.Bool(0.25) {
@@ -496,7 +630,9 @@ func (g *generator) fileSize() int64 {
 
 // mergeState tracks a storage connection left open after its last batch:
 // follow-on batches within the 60 s idle window reuse it, folding into the
-// same flow record.
+// same flow record. The record is emitted only when the connection closes,
+// so nothing downstream ever observes a flow that is still being folded —
+// the invariant the streaming engine depends on.
 type mergeState struct {
 	rec *traces.FlowRecord
 	dir classify.Direction
@@ -504,8 +640,8 @@ type mergeState struct {
 }
 
 // closeMerger finalizes an open storage flow with the server's idle close
-// (alert + FIN answered by a client RST, Fig. 19).
-func closeMerger(m *mergeState) {
+// (alert + FIN answered by a client RST, Fig. 19) and emits it.
+func (g *generator) closeMerger(m *mergeState) {
 	if m == nil || m.rec == nil {
 		return
 	}
@@ -520,6 +656,7 @@ func closeMerger(m *mergeState) {
 		r.LastPacket = r.LastPayloadDown
 	}
 	m.rec = nil
+	g.record(r)
 }
 
 // foldFlow appends a follow-on batch (synthesized as its own flow) onto an
@@ -573,10 +710,12 @@ func (g *generator) storageFlows(hh *household, dev *device, at time.Duration,
 				m.end = src.FirstPacket + classify.TransferDuration(src, dir)
 			}
 		} else {
-			closeMerger(m)
+			g.closeMerger(m)
 			rec := g.synthStorage(dev, at, dir, wires[:n], false)
 			if rec != nil {
-				g.emitStorage(hh, rec)
+				// Stamp now, emit at close: the open connection keeps
+				// folding follow-on batches into this record.
+				g.stampStorage(hh, rec)
 				(*mergers)[slot] = &mergeState{
 					rec: rec, dir: dir,
 					end: rec.FirstPacket + classify.TransferDuration(rec, dir),
@@ -637,8 +776,9 @@ func (g *generator) synthStorage(dev *device, at time.Duration, dir classify.Dir
 	})
 }
 
-// emitStorage stamps addressing on a storage record and registers it.
-func (g *generator) emitStorage(hh *household, rec *traces.FlowRecord) {
+// stampStorage fills a storage record's addressing and DPI labels without
+// emitting it (open connections keep mutating the record until closed).
+func (g *generator) stampStorage(hh *household, rec *traces.FlowRecord) {
 	server := g.rng.Intn(g.storagePool)
 	g.stamp(rec, hh.ip, storageServerIP(server), 443)
 	rec.SNI = fmt.Sprintf("dl-client%d.dropbox.com", server%520+1)
@@ -647,7 +787,6 @@ func (g *generator) emitStorage(hh *household, rec *traces.FlowRecord) {
 	} else {
 		rec.FQDN = ""
 	}
-	g.ds.Records = append(g.ds.Records, rec)
 }
 
 // oneStorageFlow emits a standalone (non-reused) storage flow.
@@ -655,7 +794,8 @@ func (g *generator) oneStorageFlow(hh *household, dev *device, at time.Duration,
 	dir classify.Direction, wires []int) {
 	rec := g.synthStorage(dev, at, dir, wires, g.rng.Bool(0.85))
 	if rec != nil {
-		g.emitStorage(hh, rec)
+		g.stampStorage(hh, rec)
+		g.record(rec)
 	}
 }
 
@@ -710,7 +850,7 @@ func (g *generator) controlFlow(hh *household, at time.Duration, reqs, extra int
 	if g.cfg.HasDNS {
 		rec.FQDN = "client-lb.dropbox.com"
 	}
-	g.ds.Records = append(g.ds.Records, rec)
+	g.record(rec)
 }
 
 // notifyFlows emits the long-poll connection(s) covering a session.
@@ -736,7 +876,7 @@ func (g *generator) notifyFlows(hh *household, dev *device, s session) {
 		if g.cfg.HasDNS {
 			rec.FQDN = fmt.Sprintf("notify%d.dropbox.com", server+1)
 		}
-		g.ds.Records = append(g.ds.Records, rec)
+		g.record(rec)
 	}
 	// Some sessions run behind network equipment that kills idle
 	// connections within a minute; the client re-establishes immediately,
@@ -774,7 +914,7 @@ func (g *generator) systemLogFlow(hh *household, at time.Duration) {
 	if g.cfg.HasDNS {
 		rec.FQDN = "d.dropbox.com"
 	}
-	g.ds.Records = append(g.ds.Records, rec)
+	g.record(rec)
 }
 
 // ---------- web / API / other-provider flows ----------
@@ -806,7 +946,7 @@ func (g *generator) webInterface(ip wire.IP, visits int) {
 			if g.cfg.HasDNS {
 				rec.FQDN = "dl-web.dropbox.com"
 			}
-			g.ds.Records = append(g.ds.Records, rec)
+			g.record(rec)
 		}
 	}
 }
@@ -843,7 +983,7 @@ func (g *generator) directLinkDownloads(ip wire.IP, n int) {
 		if g.cfg.HasDNS {
 			rec.FQDN = "dl.dropbox.com"
 		}
-		g.ds.Records = append(g.ds.Records, rec)
+		g.record(rec)
 	}
 }
 
@@ -866,7 +1006,7 @@ func (g *generator) apiFlows(ip wire.IP, n int) {
 		if g.cfg.HasDNS {
 			rec.FQDN = "api-content.dropbox.com"
 		}
-		g.ds.Records = append(g.ds.Records, rec)
+		g.record(rec)
 	}
 }
 
@@ -893,7 +1033,7 @@ func (g *generator) providerTraffic(ip wire.IP, cert string, activeFrom int, dai
 				CertName: cert, SawFIN: true,
 			}
 			g.stamp(rec, ip, wire.MakeIP(17, 32, byte(d), byte(i)), 443)
-			g.ds.Records = append(g.ds.Records, rec)
+			g.record(rec)
 		}
 	}
 }
@@ -901,29 +1041,6 @@ func (g *generator) providerTraffic(ip wire.IP, cert string, activeFrom int, dai
 func (g *generator) randomInstant() time.Duration {
 	d := g.rng.Intn(g.cfg.Days)
 	return time.Duration(d)*24*time.Hour + g.cfg.Diurnal.SampleTimeOfDay(g.rng)
-}
-
-// applyOutages drops records from probe-outage days and zeroes background.
-func (g *generator) applyOutages() {
-	if len(g.cfg.OutageDays) == 0 {
-		return
-	}
-	out := make(map[int]bool, len(g.cfg.OutageDays))
-	for _, d := range g.cfg.OutageDays {
-		out[d] = true
-		if d >= 0 && d < len(g.ds.BackgroundByDay) {
-			g.ds.BackgroundByDay[d] = 0
-			g.ds.YouTubeByDay[d] = 0
-		}
-	}
-	kept := g.ds.Records[:0]
-	for _, r := range g.ds.Records {
-		day := int(r.FirstPacket / (24 * time.Hour))
-		if !out[day] {
-			kept = append(kept, r)
-		}
-	}
-	g.ds.Records = kept
 }
 
 // DayOfRecord returns the campaign day containing a record's start.
