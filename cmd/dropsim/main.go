@@ -7,7 +7,7 @@
 //
 //	dropsim [-vp campus1|campus2|home1|home2] [-scale F] [-seed N]
 //	        [-shards N] [-workers N] [-devices-scale F]
-//	        [-summary] [-o FILE]
+//	        [-profile NAME] [-summary] [-o FILE]
 //
 // Records stream from the generator shards straight into the CSV writer,
 // so memory stays bounded however large -scale and -devices-scale grow the
@@ -18,6 +18,11 @@
 // first-packet time as the materializing GenerateDataset export is — a
 // bounded-memory stream cannot globally sort. Sort post-hoc when the probe
 // export order matters.
+//
+// -profile replaces the vantage point's calibrated client capabilities
+// (the Version the paper observed there) with a named capability profile —
+// the per-dataset entry point to the what-if engine. Omitting it keeps the
+// historical behaviour bit for bit.
 package main
 
 import (
@@ -26,6 +31,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"insidedropbox"
 	"insidedropbox/internal/analysis"
@@ -38,6 +44,8 @@ func main() {
 	shards := flag.Int("shards", 1, "deterministic population shards (part of the result)")
 	workers := flag.Int("workers", 0, "concurrent shard workers (0 = GOMAXPROCS; never changes results)")
 	devScale := flag.Float64("devices-scale", 1, "population multiplier on top of -scale")
+	profile := flag.String("profile", "", "capability profile overriding the VP's client version: "+
+		strings.Join(insidedropbox.CapabilityNames(), "|"))
 	summary := flag.Bool("summary", false, "print streaming aggregates instead of CSV records")
 	out := flag.String("o", "", "output file (default stdout)")
 	flag.Parse()
@@ -57,6 +65,15 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown vantage point %q\n", *vp)
 		os.Exit(2)
+	}
+	if *profile != "" {
+		p, ok := insidedropbox.CapabilityByName(*profile)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown capability profile %q (valid: %s)\n",
+				*profile, strings.Join(insidedropbox.CapabilityNames(), ", "))
+			os.Exit(2)
+		}
+		cfg.Caps = &p
 	}
 	fc := insidedropbox.FleetConfig{Shards: *shards, Workers: *workers, DevicesScale: *devScale}
 

@@ -5,17 +5,21 @@
 //
 //	experiments [-seed N] [-out DIR] [-quick] [-skip-packet]
 //	            [-shards N] [-fleet-scale F]
+//	            [-whatif] [-profiles LIST]
 //
 // -shards routes campaign generation through the sharded fleet engine
 // (changing the population sample but not its size); -fleet-scale > 0 adds
 // a streaming fleet campaign at that population multiplier, aggregated
-// with bounded memory.
+// with bounded memory. -whatif adds a capability what-if campaign: the
+// Campus 1 population replayed under every profile in -profiles (default:
+// the full preset catalogue), compared against the first profile.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"insidedropbox"
@@ -28,6 +32,9 @@ func main() {
 	skipPacket := flag.Bool("skip-packet", false, "skip the packet-level labs (Figs. 1, 9, 10, 19)")
 	shards := flag.Int("shards", 1, "population shards per vantage point (1 = historical datasets)")
 	fleetScale := flag.Float64("fleet-scale", 0, "also run a streaming fleet campaign at this device multiplier (0 = off)")
+	whatif := flag.Bool("whatif", false, "run the capability what-if campaign (Campus 1 under -profiles)")
+	profiles := flag.String("profiles", strings.Join(insidedropbox.CapabilityNames(), ","),
+		"comma-separated capability profiles for -whatif (first = baseline)")
 	flag.Parse()
 
 	start := time.Now()
@@ -50,6 +57,20 @@ func main() {
 		t4scale = 0.4
 	}
 	results = append(results, insidedropbox.Table4(*seed, t4scale))
+
+	if *whatif {
+		profs, err := insidedropbox.ParseProfiles(*profiles)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Printf("running capability what-if campaign (%d profiles)...\n", len(profs))
+		rep := insidedropbox.RunWhatIf(insidedropbox.WhatIfConfig{
+			Seed: *seed, VP: insidedropbox.Campus1(t4scale),
+			Fleet: insidedropbox.FleetConfig{Shards: *shards}, Profiles: profs,
+		})
+		results = append(results, rep.Result())
+	}
 
 	if *fleetScale > 0 {
 		fmt.Printf("running streaming fleet campaign (%.4gx devices)...\n", *fleetScale)

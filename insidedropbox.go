@@ -34,6 +34,7 @@ import (
 	"path/filepath"
 
 	"insidedropbox/internal/analysis"
+	"insidedropbox/internal/capability"
 	"insidedropbox/internal/experiments"
 	"insidedropbox/internal/fleet"
 	"insidedropbox/internal/traces"
@@ -142,6 +143,49 @@ func GenerateFleetSummary(cfg VPConfig, seed int64, fc FleetConfig) (*FleetSumma
 // buffering — the path for exporting huge trace files without holding them.
 func StreamDataset(cfg VPConfig, seed int64, fc FleetConfig, emit func(*traces.FlowRecord)) FleetStats {
 	return fleet.StreamOrdered(cfg, seed, fc, emit)
+}
+
+// ---------- capability profiles (what-if campaigns) ----------
+
+// CapabilityProfile is one client capability vector: chunk size limit,
+// bundling, deduplication, delta encoding, compression, commit pipelining
+// and the jointly-tuned server initial window. The two Dropbox presets
+// reproduce the historical Version-based clients bit for bit; the
+// remaining presets are hypothetical clients for counterfactual campaigns.
+type CapabilityProfile = capability.Profile
+
+// CapabilityPresets returns the shipped profile catalogue: the two
+// historical Dropbox clients, then the hypothetical profiles (no-dedup,
+// no-delta, big-chunks-16mb, full-pipeline).
+func CapabilityPresets() []CapabilityProfile { return capability.Presets() }
+
+// CapabilityNames returns the preset profile names in catalogue order.
+func CapabilityNames() []string { return capability.Names() }
+
+// CapabilityByName resolves a preset profile by name ("dropbox-1.4.0";
+// version aliases like "1.2.52" are accepted).
+func CapabilityByName(name string) (CapabilityProfile, bool) { return capability.ByName(name) }
+
+// ParseProfiles resolves a comma-separated preset list (the -profiles CLI
+// flag format), preserving order.
+func ParseProfiles(list string) ([]CapabilityProfile, error) { return capability.Parse(list) }
+
+// WhatIfConfig drives a capability what-if campaign: one vantage-point
+// population replayed under several capability profiles on the sharded
+// fleet engine, compared against the first profile.
+type WhatIfConfig = experiments.WhatIfConfig
+
+// WhatIfReport is the what-if outcome: per-profile streaming aggregates
+// (volumes, flow and operation counts, sync-latency distributions) plus
+// the baseline-relative comparison table via Result.
+type WhatIfReport = experiments.WhatIfReport
+
+// RunWhatIf executes a what-if campaign. Every profile's run is
+// bit-reproducible from (seed, population, shards, profile), and the two
+// Dropbox presets reproduce the legacy Version-based campaign output
+// exactly.
+func RunWhatIf(cfg WhatIfConfig) *WhatIfReport {
+	return experiments.RunWhatIf(cfg)
 }
 
 // AllExperiments regenerates every campaign-level table and figure in

@@ -1,0 +1,115 @@
+package capability
+
+import (
+	"strings"
+	"testing"
+
+	"insidedropbox/internal/chunker"
+)
+
+func TestPresetCatalogue(t *testing.T) {
+	ps := Presets()
+	if len(ps) < 5 {
+		t.Fatalf("presets = %d, want at least 5", len(ps))
+	}
+	seen := map[string]bool{}
+	for _, p := range ps {
+		if p.Name == "" {
+			t.Fatalf("preset with empty name: %+v", p)
+		}
+		if seen[p.Name] {
+			t.Fatalf("duplicate preset name %q", p.Name)
+		}
+		seen[p.Name] = true
+	}
+	// The two historical clients lead the catalogue.
+	if ps[0].Name != "dropbox-1.2.52" || ps[1].Name != "dropbox-1.4.0" {
+		t.Fatalf("catalogue order = %q, %q", ps[0].Name, ps[1].Name)
+	}
+}
+
+func TestDropboxPresetKnobs(t *testing.T) {
+	old := DropboxV1252()
+	if old.Bundling || old.CommitPipelining || !old.Dedup || !old.DeltaEncoding || !old.Compression {
+		t.Fatalf("1.2.52 knobs wrong: %+v", old)
+	}
+	if old.ChunkLimit() != chunker.MaxChunkSize || old.IW() != 2 {
+		t.Fatalf("1.2.52 defaults: chunk=%d iw=%d", old.ChunkLimit(), old.IW())
+	}
+	neu := DropboxV140()
+	if !neu.Bundling || neu.BundleTarget() != DefaultBundleTarget || neu.IW() != 3 {
+		t.Fatalf("1.4.0 knobs wrong: %+v", neu)
+	}
+	// 1.4.0 differs from 1.2.52 only in bundling and server tuning.
+	if neu.Dedup != old.Dedup || neu.DeltaEncoding != old.DeltaEncoding ||
+		neu.Compression != old.Compression || neu.ChunkLimit() != old.ChunkLimit() {
+		t.Fatalf("1.4.0 drifted from 1.2.52 base: %+v vs %+v", neu, old)
+	}
+}
+
+func TestZeroFieldFallbacks(t *testing.T) {
+	var p Profile
+	if p.ChunkLimit() != chunker.MaxChunkSize {
+		t.Fatalf("zero chunk limit = %d", p.ChunkLimit())
+	}
+	if p.BundleTarget() != DefaultBundleTarget {
+		t.Fatalf("zero bundle target = %d", p.BundleTarget())
+	}
+	if p.IW() != DefaultServerIW {
+		t.Fatalf("zero IW = %d", p.IW())
+	}
+}
+
+func TestByNameAndAliases(t *testing.T) {
+	for _, name := range Names() {
+		if _, ok := ByName(name); !ok {
+			t.Fatalf("preset %q not resolvable by its own name", name)
+		}
+	}
+	cases := map[string]string{
+		"1.2.52":          "dropbox-1.2.52",
+		"v1.4.0":          "dropbox-1.4.0",
+		"Dropbox-1.4.0":   "dropbox-1.4.0",
+		"dropbox_v1_2_52": "dropbox-1.2.52",
+		"NoDedup":         "no-dedup",
+	}
+	for alias, want := range cases {
+		p, ok := ByName(alias)
+		if !ok || p.Name != want {
+			t.Fatalf("ByName(%q) = %q, %v; want %q", alias, p.Name, ok, want)
+		}
+	}
+	if _, ok := ByName("dropbox-9.9"); ok {
+		t.Fatal("unknown profile resolved")
+	}
+}
+
+func TestParseList(t *testing.T) {
+	ps, err := Parse("dropbox-1.2.52, 1.4.0,no-dedup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 3 || ps[1].Name != "dropbox-1.4.0" || ps[2].Name != "no-dedup" {
+		t.Fatalf("parsed = %v", ps)
+	}
+	if _, err := Parse("dropbox-1.2.52,bogus"); err == nil {
+		t.Fatal("bogus profile accepted")
+	} else if !strings.Contains(err.Error(), "bogus") {
+		t.Fatalf("error does not name the bad profile: %v", err)
+	}
+	for _, empty := range []string{"", " ", ",,"} {
+		if _, err := Parse(empty); err == nil {
+			t.Fatalf("empty profile list %q accepted", empty)
+		}
+	}
+}
+
+func TestKeyCoversEveryKnob(t *testing.T) {
+	k := BigChunks16MB().Key()
+	for _, want := range []string{"big-chunks-16mb", "chunk=16777216", "bundle=true",
+		"dedup=true", "delta=true", "compress=true", "pipeline=false", "iw=3"} {
+		if !strings.Contains(k, want) {
+			t.Fatalf("key %q missing %q", k, want)
+		}
+	}
+}

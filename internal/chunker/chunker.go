@@ -107,26 +107,41 @@ type SyntheticFile struct {
 	CompressRatio float64
 }
 
-// Refs returns the chunk references of the synthetic file. Hashes derive
-// from (seed, index, chunk size) so identical files collide chunk-wise and
-// different files essentially never do.
-func (f SyntheticFile) Refs() []Ref {
+// Refs returns the chunk references of the synthetic file at the standard
+// 4 MB chunk limit. Hashes derive from (seed, index, chunk size) so
+// identical files collide chunk-wise and different files essentially never
+// do.
+func (f SyntheticFile) Refs() []Ref { return f.RefsLimit(MaxChunkSize) }
+
+// RefsLimit chunks the synthetic file at a custom chunk size limit — the
+// hook capability profiles use to explore chunk sizes the real client never
+// shipped. limit <= 0 falls back to MaxChunkSize. The hash derivation is
+// identical to Refs, so equal (seed, index, size) triples deduplicate
+// across limits just as equal content would.
+func (f SyntheticFile) RefsLimit(limit int) []Ref {
 	if f.Size <= 0 {
 		return nil
 	}
-	n := int((f.Size + MaxChunkSize - 1) / MaxChunkSize)
+	if limit <= 0 {
+		limit = MaxChunkSize
+	}
+	n := int((f.Size + int64(limit) - 1) / int64(limit))
 	out := make([]Ref, n)
 	var buf [25]byte
 	copy(buf[16:], "synth")
 	for i := 0; i < n; i++ {
-		size := MaxChunkSize
+		size := limit
 		if i == n-1 {
-			if rem := int(f.Size % MaxChunkSize); rem != 0 {
+			if rem := int(f.Size % int64(limit)); rem != 0 {
 				size = rem
 			}
 		}
 		binary.BigEndian.PutUint64(buf[0:8], f.Seed)
-		binary.BigEndian.PutUint64(buf[8:16], uint64(i)<<20|uint64(size))
+		// Index in the high word, size in the low: the fields must not
+		// overlap, or distinct full-size chunks of one file collide (a
+		// 4 MB size sets bit 22, which an i<<20 encoding also used —
+		// chunks 0 and 4 of a 24 MB file used to share a hash).
+		binary.BigEndian.PutUint64(buf[8:16], uint64(i)<<32|uint64(size))
 		out[i] = Ref{Hash: sha256.Sum256(buf[:]), Size: size}
 	}
 	return out

@@ -147,6 +147,36 @@ func TestReaderMatchesGenerate(t *testing.T) {
 	}
 }
 
+func TestSyntheticRefsDistinctWithinFile(t *testing.T) {
+	// Regression: the old i<<20|size hash encoding overlapped the index
+	// with full-chunk sizes (4 MB sets bit 22), so chunks 0 and 4 of a
+	// 24 MB file shared a hash and spuriously deduplicated.
+	for _, limit := range []int{MaxChunkSize, 16 << 20} {
+		f := SyntheticFile{Seed: 3, Size: 40 * int64(MaxChunkSize)}
+		seen := map[Hash]int{}
+		for i, r := range f.RefsLimit(limit) {
+			if prev, dup := seen[r.Hash]; dup {
+				t.Fatalf("limit %d: chunks %d and %d collide", limit, prev, i)
+			}
+			seen[r.Hash] = i
+		}
+	}
+}
+
+func TestRefsLimitCustomBoundary(t *testing.T) {
+	f := SyntheticFile{Seed: 9, Size: 40 << 20} // 40 MB
+	refs := f.RefsLimit(16 << 20)
+	if len(refs) != 3 || refs[0].Size != 16<<20 || refs[2].Size != 8<<20 {
+		t.Fatalf("16MB chunking of 40MB = %d refs, sizes %v %v %v",
+			len(refs), refs[0].Size, refs[1].Size, refs[2].Size)
+	}
+	// The default limit path is RefsLimit at MaxChunkSize.
+	a, b := f.Refs(), f.RefsLimit(0)
+	if len(a) != 10 || len(b) != 10 || a[0].Hash != b[0].Hash {
+		t.Fatalf("default chunking mismatch: %d vs %d refs", len(a), len(b))
+	}
+}
+
 func BenchmarkSplit4MB(b *testing.B) {
 	data := SyntheticFile{Seed: 1, Size: MaxChunkSize}.Generate()
 	b.SetBytes(MaxChunkSize)

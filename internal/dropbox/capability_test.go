@@ -1,0 +1,186 @@
+package dropbox
+
+import (
+	"testing"
+	"time"
+
+	"insidedropbox/internal/capability"
+	"insidedropbox/internal/netem"
+	"insidedropbox/internal/simtime"
+	"insidedropbox/internal/tcpsim"
+	"insidedropbox/internal/tlssim"
+	"insidedropbox/internal/wire"
+)
+
+// deviceCaps mints a device with an explicit capability profile.
+func (w *tw) deviceCaps(t testing.TB, account AccountID, caps capability.Profile) *Device {
+	t.Helper()
+	w.nextIP++
+	ip := wire.MakeIP(10, 0, 0, w.nextIP)
+	host := w.net.AddHost(ip, "vp", netem.WiredWorkstation())
+	stack := tcpsim.NewStack(host, w.sched, w.rng, tcpsim.DefaultConfig())
+	dev, err := NewDevice(ClientConfig{
+		Sched: w.sched, Rng: w.rng, Service: w.svc, Resolver: w.resolver,
+		Stack: stack, Caps: &caps, Handshake: tlssim.DefaultHandshake(),
+	}, account)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dev
+}
+
+// TestVersionResolvesToPresetProfile pins the legacy bridge: a device built
+// from a Version carries the matching preset capability vector.
+func TestVersionResolvesToPresetProfile(t *testing.T) {
+	w := newTW(t, 3)
+	acct := w.svc.Meta.CreateAccount()
+	if got := w.device(t, acct.ID, V1252).Caps(); got != capability.DropboxV1252() {
+		t.Fatalf("V1252 resolved to %+v", got)
+	}
+	if got := w.device(t, acct.ID, V140).Caps(); got != capability.DropboxV140() {
+		t.Fatalf("V140 resolved to %+v", got)
+	}
+}
+
+// TestCapsPresetDeviceMatchesVersionDevice replays the same upload in two
+// identically-seeded worlds — one device configured by Version, one by the
+// matching preset profile — and requires identical transfer statistics and
+// server counters: the profile data plane is the Version data plane.
+func TestCapsPresetDeviceMatchesVersionDevice(t *testing.T) {
+	type outcome struct {
+		stats    TransferStats
+		storeOps int
+		batchOps int
+	}
+	run := func(useCaps bool) outcome {
+		w := newTW(t, 3)
+		acct := w.svc.Meta.CreateAccount()
+		var dev *Device
+		if useCaps {
+			dev = w.deviceCaps(t, acct.ID, capability.DropboxV140())
+		} else {
+			dev = w.device(t, acct.ID, V140)
+		}
+		var st TransferStats
+		dev.OnTransferDone = func(s TransferStats) {
+			if s.Kind == TransferStore {
+				st = s
+			}
+		}
+		dev.Start()
+		refs := mkRefs(800, 25, 70_000)
+		w.sched.After(time.Second, func() { dev.Upload(acct.Root, refs, identityWire, nil) })
+		w.sched.RunUntil(simtime.Time(5 * time.Minute))
+		return outcome{stats: st, storeOps: w.svc.StoreOps, batchOps: w.svc.BatchOps}
+	}
+	legacy, caps := run(false), run(true)
+	if legacy != caps {
+		t.Fatalf("profile device diverged from version device:\nlegacy %+v\ncaps   %+v", legacy, caps)
+	}
+	if legacy.stats.Chunks != 25 {
+		t.Fatalf("upload incomplete: %+v", legacy.stats)
+	}
+}
+
+// TestNoDedupUploadsDuplicateChunks pins the dedup knob on the packet
+// path: content the service already holds is re-uploaded in full when the
+// profile disables deduplication.
+func TestNoDedupUploadsDuplicateChunks(t *testing.T) {
+	w := newTW(t, 3)
+	a1 := w.svc.Meta.CreateAccount()
+	a2 := w.svc.Meta.CreateAccount()
+	d1 := w.device(t, a1.ID, V1252)
+	d2 := w.deviceCaps(t, a2.ID, func() capability.Profile {
+		p := capability.NoDedup()
+		p.Bundling = false // per-chunk ops make the op count assertable
+		return p
+	}())
+	refs := mkRefs(900, 3, 100_000) // same content on both accounts
+	d1.Start()
+	d2.Start()
+	w.sched.After(time.Second, func() { d1.Upload(a1.Root, refs, identityWire, nil) })
+	var d2stats TransferStats
+	d2.OnTransferDone = func(s TransferStats) {
+		if s.Kind == TransferStore {
+			d2stats = s
+		}
+	}
+	w.sched.After(30*time.Second, func() { d2.Upload(a2.Root, refs, identityWire, nil) })
+	w.sched.RunUntil(simtime.Time(120 * time.Second))
+	if w.svc.StoreOps != 6 {
+		t.Fatalf("store ops = %d: no-dedup should re-upload all 3 chunks", w.svc.StoreOps)
+	}
+	if d2stats.Skipped != 0 || d2stats.Chunks != 3 {
+		t.Fatalf("second upload stats = %+v", d2stats)
+	}
+}
+
+// TestPipelinedStoreRemovesAckFloor pins the pipelining knob: per-chunk
+// operations issued without waiting for acknowledgments complete far
+// faster than the sequentially-acknowledged baseline of Sec. 4.4.2.
+func TestPipelinedStoreRemovesAckFloor(t *testing.T) {
+	pipelined := capability.DropboxV1252()
+	pipelined.Name = "pipelined-per-chunk"
+	pipelined.CommitPipelining = true
+
+	durations := map[string]time.Duration{}
+	for name, caps := range map[string]capability.Profile{
+		"sequential": capability.DropboxV1252(),
+		"pipelined":  pipelined,
+	} {
+		w := newTW(t, 3)
+		acct := w.svc.Meta.CreateAccount()
+		dev := w.deviceCaps(t, acct.ID, caps)
+		var st TransferStats
+		dev.OnTransferDone = func(s TransferStats) {
+			if s.Kind == TransferStore {
+				st = s
+			}
+		}
+		dev.Start()
+		refs := mkRefs(901, 30, 60_000)
+		w.sched.After(time.Second, func() { dev.Upload(acct.Root, refs, identityWire, nil) })
+		w.sched.RunUntil(simtime.Time(10 * time.Minute))
+		if st.Chunks != 30 || st.Ops != 30 {
+			t.Fatalf("%s: stats = %+v", name, st)
+		}
+		durations[name] = st.End.Sub(st.Start)
+	}
+	if durations["pipelined"]*2 > durations["sequential"] {
+		t.Fatalf("pipelining should at least halve duration: sequential %v vs pipelined %v",
+			durations["sequential"], durations["pipelined"])
+	}
+}
+
+// TestPipelinedRetrieveCompletes exercises the pipelined download path end
+// to end: every chunk arrives and is credited despite overlapping
+// requests.
+func TestPipelinedRetrieveCompletes(t *testing.T) {
+	w := newTW(t, 3)
+	acct := w.svc.Meta.CreateAccount()
+	d1 := w.device(t, acct.ID, V1252)
+	d2 := w.deviceCaps(t, acct.ID, func() capability.Profile {
+		p := capability.FullPipeline()
+		p.Bundling = false
+		return p
+	}())
+	d1.Start()
+	d2.Start()
+	refs := mkRefs(902, 5, 200_000)
+	var retr TransferStats
+	d2.OnTransferDone = func(s TransferStats) {
+		if s.Kind == TransferRetrieve {
+			retr = s
+		}
+	}
+	w.sched.After(5*time.Second, func() { d1.Upload(acct.Root, refs, identityWire, nil) })
+	w.sched.RunUntil(simtime.Time(4 * time.Minute))
+	for _, r := range refs {
+		if !d2.Has(r.Hash) {
+			t.Fatalf("device 2 missing chunk %s", r.Hash.Short())
+		}
+	}
+	if retr.Chunks != 5 || retr.Ops != 5 {
+		t.Fatalf("retrieve stats = %+v", retr)
+	}
+}

@@ -3,6 +3,7 @@ package dropbox
 import (
 	"time"
 
+	"insidedropbox/internal/capability"
 	"insidedropbox/internal/chunker"
 	"insidedropbox/internal/dnssim"
 	"insidedropbox/internal/simrand"
@@ -20,7 +21,11 @@ type ClientConfig struct {
 	Resolver *dnssim.Resolver
 	Stack    *tcpsim.Stack // shared by all devices behind one IP (NAT)
 
+	// Version selects one of the two historical clients. Caps, when set,
+	// overrides it with an arbitrary capability profile; the data plane
+	// consults only the resolved profile.
 	Version   Version
+	Caps      *capability.Profile
 	Handshake tlssim.HandshakeConfig
 
 	// ReactionMedian is the median client processing time between storage
@@ -75,6 +80,7 @@ type Device struct {
 	OnTransferDone func(TransferStats)
 
 	online       bool
+	caps         capability.Profile
 	rng          *simrand.Source
 	storageNames []string
 	nameIdx      int
@@ -101,10 +107,15 @@ func NewDevice(cfg ClientConfig, account AccountID) (*Device, error) {
 	if err != nil {
 		return nil, err
 	}
+	caps := cfg.Version.Profile()
+	if cfg.Caps != nil {
+		caps = *cfg.Caps
+	}
 	d := &Device{
 		Cfg:        cfg,
 		Host:       host,
 		Account:    account,
+		caps:       caps,
 		namespaces: cfg.Service.Meta.NamespacesOf(account),
 		cursors:    make(map[NamespaceID]uint64),
 		have:       make(map[chunker.Hash]struct{}),
@@ -112,6 +123,9 @@ func NewDevice(cfg ClientConfig, account AccountID) (*Device, error) {
 	}
 	return d, nil
 }
+
+// Caps returns the device's resolved capability profile.
+func (d *Device) Caps() capability.Profile { return d.caps }
 
 // Namespaces returns the namespaces this device synchronizes.
 func (d *Device) Namespaces() []NamespaceID { return d.namespaces }
@@ -295,7 +309,9 @@ func (d *Device) uploadOneBatch(ns NamespaceID, batch []chunker.Ref, wireOf func
 		var toSend []chunker.Ref
 		skipped := 0
 		for _, r := range batch {
-			if missing[r.Hash] {
+			// Without dedup the need_blocks answer is ignored: every chunk
+			// crosses the wire even when the server already has it.
+			if !d.caps.Dedup || missing[r.Hash] {
 				toSend = append(toSend, r)
 			} else {
 				skipped++
@@ -322,30 +338,24 @@ func (d *Device) uploadOneBatch(ns NamespaceID, batch []chunker.Ref, wireOf func
 	})
 }
 
-// storeChunks issues store operations sequentially: one per chunk for
-// v1.2.52, bundled for v1.4.0. Each operation waits for the previous OK —
-// the per-chunk acknowledgment bottleneck of Sec. 4.4.2.
-func (d *Device) storeChunks(refs []chunker.Ref, wireOf func(chunker.Ref) int, stats *TransferStats, next func()) {
-	if len(refs) == 0 {
-		next()
-		return
-	}
-	var op any
-	var opWire int
-	var consumed int
-	if d.Cfg.Version == V140 {
-		// Bundle small chunks up to the target; large chunks go alone.
+// nextStoreOp groups the head of refs into the next store operation per
+// the capability profile: one chunk per operation without bundling; with
+// bundling, small chunks pack up to the bundle target and a large chunk
+// ends its bundle.
+func (d *Device) nextStoreOp(refs []chunker.Ref, wireOf func(chunker.Ref) int) (op any, opWire, consumed int) {
+	if d.caps.Bundling {
+		target := d.caps.BundleTarget()
 		var bundle []chunker.Ref
 		total := 0
 		for _, r := range refs {
 			w := wireOf(r)
-			if len(bundle) > 0 && (total+w > BundleTargetBytes) {
+			if len(bundle) > 0 && (total+w > target) {
 				break
 			}
 			bundle = append(bundle, r)
 			total += w
 			consumed++
-			if w >= BundleTargetBytes/4 {
+			if w >= target/4 {
 				break // big chunks end a bundle
 			}
 		}
@@ -354,14 +364,27 @@ func (d *Device) storeChunks(refs []chunker.Ref, wireOf func(chunker.Ref) int, s
 		} else {
 			op = MsgStoreBatch{Refs: append([]chunker.Ref(nil), bundle...), WireSize: total}
 		}
-		opWire = StoreClientOverhead + total
-	} else {
-		r := refs[0]
-		w := wireOf(r)
-		consumed = 1
-		op = MsgStore{Ref: r, WireSize: w}
-		opWire = StoreClientOverhead + w
+		return op, StoreClientOverhead + total, consumed
 	}
+	r := refs[0]
+	w := wireOf(r)
+	return MsgStore{Ref: r, WireSize: w}, StoreClientOverhead + w, 1
+}
+
+// storeChunks issues store operations sequentially: one per chunk for
+// 1.2.52-style profiles, bundled when the profile enables it. Each
+// operation waits for the previous OK — the per-chunk acknowledgment
+// bottleneck of Sec. 4.4.2 — unless the profile pipelines commits.
+func (d *Device) storeChunks(refs []chunker.Ref, wireOf func(chunker.Ref) int, stats *TransferStats, next func()) {
+	if len(refs) == 0 {
+		next()
+		return
+	}
+	if d.caps.CommitPipelining {
+		d.storeChunksPipelined(refs, wireOf, stats, next)
+		return
+	}
+	op, opWire, consumed := d.nextStoreOp(refs, wireOf)
 	stats.Ops++
 	stats.Chunks += consumed
 	for _, r := range refs[:consumed] {
@@ -378,6 +401,43 @@ func (d *Device) storeChunks(refs []chunker.Ref, wireOf func(chunker.Ref) int, s
 			d.storeChunks(rest, wireOf, stats, next)
 		})
 	})
+}
+
+// storeChunksPipelined issues every store operation without waiting for
+// acknowledgments: operations go out back to back (client reaction time
+// between issues, modelling hashing/compression), responses drain
+// asynchronously, and the transaction completes when the last OK arrives.
+func (d *Device) storeChunksPipelined(refs []chunker.Ref, wireOf func(chunker.Ref) int, stats *TransferStats, next func()) {
+	type pendOp struct {
+		op   any
+		wire int
+	}
+	var ops []pendOp
+	for len(refs) > 0 {
+		op, opWire, consumed := d.nextStoreOp(refs, wireOf)
+		stats.Ops++
+		stats.Chunks += consumed
+		for _, r := range refs[:consumed] {
+			stats.WireBytes += wireOf(r)
+		}
+		ops = append(ops, pendOp{op, opWire})
+		refs = refs[consumed:]
+	}
+	outstanding := len(ops)
+	onAck := func(any) {
+		outstanding--
+		if outstanding == 0 {
+			next()
+		}
+	}
+	var issue func(i int)
+	issue = func(i int) {
+		d.storageCall(true, ops[i].op, ops[i].wire, 1, onAck)
+		if i+1 < len(ops) {
+			d.Cfg.Sched.After(d.reaction(), func() { issue(i + 1) })
+		}
+	}
+	issue(0)
 }
 
 // ---------- download path ----------
@@ -450,43 +510,51 @@ func (d *Device) lanFetch(h chunker.Hash) bool {
 	return false
 }
 
-// retrieveChunks fetches chunks sequentially; v1.2.52 sends one retrieve
-// per chunk as two PSH-marked writes (Fig. 19b), v1.4.0 batches.
+// nextRetrieveOp groups the head of refs into the next retrieve operation
+// per the capability profile; reqExtra is the request-size growth of a
+// multi-hash batch request.
+func (d *Device) nextRetrieveOp(refs []chunker.Ref) (op any, reqExtra, consumed int) {
+	if d.caps.Bundling {
+		target := d.caps.BundleTarget()
+		n := 0
+		total := 0
+		for _, r := range refs {
+			if n > 0 && total+r.Size > target {
+				break
+			}
+			n++
+			total += r.Size
+			if r.Size >= target/4 {
+				break
+			}
+		}
+		if n == 1 {
+			return MsgRetrieve{Hash: refs[0].Hash}, 0, 1
+		}
+		hashes := make([]chunker.Hash, n)
+		for i := 0; i < n; i++ {
+			hashes[i] = refs[i].Hash
+		}
+		return MsgRetrieveBatch{Hashes: hashes}, 32 * (n - 1), n
+	}
+	return MsgRetrieve{Hash: refs[0].Hash}, 0, 1
+}
+
+// retrieveChunks fetches chunks sequentially; 1.2.52-style profiles send
+// one retrieve per chunk as two PSH-marked writes (Fig. 19b), bundling
+// profiles batch, and pipelining profiles issue every request up front.
 func (d *Device) retrieveChunks(refs []chunker.Ref, stats *TransferStats, next func()) {
 	if len(refs) == 0 {
 		next()
 		return
 	}
-	var op any
-	consumed := 1
-	reqSize := RetrieveClientOverheadMin + d.rng.Intn(RetrieveClientOverheadMax-RetrieveClientOverheadMin)
-	if d.Cfg.Version == V140 {
-		n := 0
-		total := 0
-		for _, r := range refs {
-			if n > 0 && total+r.Size > BundleTargetBytes {
-				break
-			}
-			n++
-			total += r.Size
-			if r.Size >= BundleTargetBytes/4 {
-				break
-			}
-		}
-		consumed = n
-		if n == 1 {
-			op = MsgRetrieve{Hash: refs[0].Hash}
-		} else {
-			hashes := make([]chunker.Hash, n)
-			for i := 0; i < n; i++ {
-				hashes[i] = refs[i].Hash
-			}
-			op = MsgRetrieveBatch{Hashes: hashes}
-			reqSize += 32 * (n - 1)
-		}
-	} else {
-		op = MsgRetrieve{Hash: refs[0].Hash}
+	if d.caps.CommitPipelining {
+		d.retrieveChunksPipelined(refs, stats, next)
+		return
 	}
+	reqSize := RetrieveClientOverheadMin + d.rng.Intn(RetrieveClientOverheadMax-RetrieveClientOverheadMin)
+	op, reqExtra, consumed := d.nextRetrieveOp(refs)
+	reqSize += reqExtra
 	stats.Ops++
 	d.storageCall(false, op, reqSize, 2, func(resp any) {
 		data, _ := resp.(MsgRetrieveData)
@@ -506,6 +574,45 @@ func (d *Device) retrieveChunks(refs []chunker.Ref, stats *TransferStats, next f
 	})
 }
 
+// retrieveChunksPipelined issues every retrieve request without waiting
+// for responses; chunk data is credited as each response arrives (response
+// payloads identify their chunks, so ordering does not matter).
+func (d *Device) retrieveChunksPipelined(refs []chunker.Ref, stats *TransferStats, next func()) {
+	type pendOp struct {
+		op  any
+		req int
+	}
+	var ops []pendOp
+	for len(refs) > 0 {
+		reqSize := RetrieveClientOverheadMin + d.rng.Intn(RetrieveClientOverheadMax-RetrieveClientOverheadMin)
+		op, reqExtra, consumed := d.nextRetrieveOp(refs)
+		stats.Ops++
+		ops = append(ops, pendOp{op, reqSize + reqExtra})
+		refs = refs[consumed:]
+	}
+	outstanding := len(ops)
+	onData := func(resp any) {
+		data, _ := resp.(MsgRetrieveData)
+		for _, r := range data.Refs {
+			d.have[r.Hash] = struct{}{}
+		}
+		stats.Chunks += len(data.Refs)
+		stats.WireBytes += data.WireSize
+		outstanding--
+		if outstanding == 0 {
+			next()
+		}
+	}
+	var issue func(i int)
+	issue = func(i int) {
+		d.storageCall(false, ops[i].op, ops[i].req, 2, onData)
+		if i+1 < len(ops) {
+			d.Cfg.Sched.After(d.reaction(), func() { issue(i + 1) })
+		}
+	}
+	issue(0)
+}
+
 // ---------- RPC connections ----------
 
 // rpcCall is one serialized request awaiting its response.
@@ -517,15 +624,23 @@ type rpcCall struct {
 	retries int
 }
 
-// rpcConn is a TLS connection carrying serialized request/response
-// exchanges.
+// pipelineDepth bounds in-flight operations on a pipelined storage
+// connection — deep enough that the window never stalls a transaction.
+const pipelineDepth = 64
+
+// rpcConn is a TLS connection carrying request/response exchanges. With
+// maxInflight <= 1 (the historical clients) requests serialize: each waits
+// for the previous response. Pipelining profiles raise maxInflight so
+// several requests ride the connection at once; responses pop the pending
+// queue FIFO.
 type rpcConn struct {
 	dev         *Device
 	sess        *tlssim.Session
 	established bool
 	closed      bool
-	pending     *rpcCall
+	pending     []*rpcCall
 	sendQueue   []*rpcCall
+	maxInflight int
 	kind        string
 }
 
@@ -583,16 +698,19 @@ func (d *Device) dialRPC(kind string) *rpcConn {
 	sess := tlssim.NewClient(conn, name, d.Cfg.Handshake)
 	d.Cfg.Service.RegisterPending(conn.LocalEndpoint(), sess)
 	rc := &rpcConn{dev: d, sess: sess, kind: kind}
+	if kind != "control" && d.caps.CommitPipelining {
+		rc.maxInflight = pipelineDepth
+	}
 	sess.OnEstablished = func() {
 		rc.established = true
 		rc.pump()
 	}
 	sess.OnMessage = func(meta any, size int) {
-		if rc.pending == nil {
+		if len(rc.pending) == 0 {
 			return
 		}
-		call := rc.pending
-		rc.pending = nil
+		call := rc.pending[0]
+		rc.pending = rc.pending[1:]
 		if call.done != nil {
 			call.done(meta)
 		}
@@ -632,13 +750,16 @@ func (rc *rpcConn) issue(call *rpcCall) {
 }
 
 func (rc *rpcConn) pump() {
-	if !rc.established || rc.closed || rc.pending != nil || len(rc.sendQueue) == 0 {
-		return
+	limit := rc.maxInflight
+	if limit < 1 {
+		limit = 1
 	}
-	call := rc.sendQueue[0]
-	rc.sendQueue = rc.sendQueue[1:]
-	rc.pending = call
-	rc.sess.SendParts(call.meta, call.size, call.parts)
+	for rc.established && !rc.closed && len(rc.pending) < limit && len(rc.sendQueue) > 0 {
+		call := rc.sendQueue[0]
+		rc.sendQueue = rc.sendQueue[1:]
+		rc.pending = append(rc.pending, call)
+		rc.sess.SendParts(call.meta, call.size, call.parts)
+	}
 }
 
 // retryPending re-dials and reissues interrupted calls (bounded retries).
@@ -646,8 +767,8 @@ func (rc *rpcConn) retryPending() {
 	d := rc.dev
 	calls := rc.sendQueue
 	rc.sendQueue = nil
-	if rc.pending != nil {
-		calls = append([]*rpcCall{rc.pending}, calls...)
+	if len(rc.pending) > 0 {
+		calls = append(append([]*rpcCall(nil), rc.pending...), calls...)
 		rc.pending = nil
 	}
 	if !d.online || len(calls) == 0 {

@@ -9,16 +9,25 @@
 // Amazon-style storage servers) and the client sync engine, all running over
 // tcpsim/tlssim so that every protocol byte appears on the simulated wire
 // with the sizes the paper measured (Appendix A).
+//
+// The client data plane is parameterized by a capability.Profile (bundling
+// and its batch target, deduplication, commit pipelining): the historical
+// Version constants resolve to the two Dropbox presets via
+// Version.Profile, and what-if experiments substitute arbitrary profiles
+// through ClientConfig.Caps without touching the protocol code.
 package dropbox
 
 import (
 	"time"
 
+	"insidedropbox/internal/capability"
 	"insidedropbox/internal/chunker"
 )
 
 // Version selects the client protocol generation the paper compares in
-// Table 4.
+// Table 4. It survives as the calibrated shorthand for the two clients the
+// paper observed; the data plane itself runs on capability.Profile, and
+// Version resolves to one of the two Dropbox presets via Profile.
 type Version int
 
 // Protocol versions under study.
@@ -36,6 +45,16 @@ func (v Version) String() string {
 		return "1.4.0"
 	}
 	return "1.2.52"
+}
+
+// Profile resolves the legacy version switch to its capability profile.
+// The presets reproduce the historical Version-based behaviour bit for bit
+// (pinned by regression tests in workload and flowmodel).
+func (v Version) Profile() capability.Profile {
+	if v == V140 {
+		return capability.DropboxV140()
+	}
+	return capability.DropboxV1252()
 }
 
 // Protocol size constants measured by the authors (Appendix A.2/A.3).
@@ -59,8 +78,10 @@ const (
 	StorageIdleTimeout = 60 * time.Second
 	// NotifyPollPeriod is the long-poll response delay with no changes.
 	NotifyPollPeriod = 60 * time.Second
-	// BundleTargetBytes is how much v1.4.0 packs into one store_batch.
-	BundleTargetBytes = 4 << 20
+	// BundleTargetBytes is how much v1.4.0 packs into one store_batch —
+	// the capability layer's default bundle target, re-exported so the
+	// protocol constants read as one set.
+	BundleTargetBytes = capability.DefaultBundleTarget
 )
 
 // HostID is the device identifier (host_int) carried in notification

@@ -1,8 +1,24 @@
 // Package experiments contains one driver per table and figure of the
-// paper. Each driver consumes a Campaign (the four vantage-point datasets)
-// or runs a dedicated packet-level lab, and produces a Result holding the
-// rendered text (tables / ASCII figures) plus named metrics that the
-// benchmark harness and EXPERIMENTS.md assertions consume.
+// paper, plus the campaign engines that feed them. Each driver consumes a
+// Campaign (the four vantage-point datasets) or runs a dedicated
+// packet-level lab, and produces a Result holding the rendered text
+// (tables / ASCII figures) plus named metrics that the benchmark harness
+// and EXPERIMENTS.md assertions consume.
+//
+// Three campaign engines coexist:
+//
+//   - RunCampaign / RunShardedCampaign materialize the four vantage-point
+//     datasets (through the sharded fleet engine; 1 shard per VP
+//     reproduces the historical sequential generator bit for bit);
+//   - RunFleetCampaign streams populations too large to materialize into
+//     bounded-memory fleet.Summary aggregates;
+//   - RunWhatIf replays one population under several client capability
+//     profiles (internal/capability) and tabulates storage volume, flow,
+//     operation and sync-latency deltas against a baseline profile — the
+//     generalization of the paper's Sec. 6 bundling analysis.
+//
+// See EXPERIMENTS.md at the repository root for the full catalogue, the
+// determinism contract, and how each driver maps to the paper.
 package experiments
 
 import (

@@ -182,23 +182,63 @@ func NewSummary(days int) *Summary {
 	}
 }
 
+// Classification is the per-record labeling aggregators key on. Wrappers
+// that stack extra aggregates on top of a Summary compute it once with
+// ClassifyRecord and feed every layer, instead of re-classifying the
+// record on each layer of the streaming hot path.
+type Classification struct {
+	Dropbox bool
+	Notify  bool
+	Service dnssim.Service
+	// Dir is the store/retrieve tag; meaningful only when Service is
+	// dnssim.SvcClientStorage on a non-notify Dropbox flow.
+	Dir classify.Direction
+}
+
+// Storage reports whether the record is a client-storage flow (the ones
+// with a store/retrieve direction).
+func (c Classification) Storage() bool {
+	return c.Dropbox && !c.Notify && c.Service == dnssim.SvcClientStorage
+}
+
+// ClassifyRecord labels one record for aggregation.
+func ClassifyRecord(r *traces.FlowRecord) Classification {
+	c := Classification{Dropbox: classify.ProviderOf(r) == classify.ProvDropbox}
+	if !c.Dropbox {
+		return c
+	}
+	if r.NotifyHost != 0 {
+		c.Notify = true
+		return c
+	}
+	c.Service = classify.DropboxService(r)
+	if c.Service == dnssim.SvcClientStorage {
+		c.Dir = classify.TagStorage(r)
+	}
+	return c
+}
+
 // Consume implements Sink.
 func (s *Summary) Consume(r *traces.FlowRecord) {
+	s.ConsumeClassified(r, ClassifyRecord(r))
+}
+
+// ConsumeClassified folds one record using a pre-computed classification.
+func (s *Summary) ConsumeClassified(r *traces.FlowRecord, c Classification) {
 	s.Flows++
 	s.BytesUp += r.BytesUp
 	s.BytesDown += r.BytesDown
-	isDropbox := classify.ProviderOf(r) == classify.ProvDropbox
 	if d := int(r.FirstPacket / (24 * time.Hour)); d >= 0 && d < s.Days {
 		s.DayVolume[d] += float64(r.BytesUp + r.BytesDown)
-		if isDropbox {
+		if c.Dropbox {
 			s.DropboxDayVolume[d] += float64(r.BytesUp + r.BytesDown)
 		}
 	}
-	if !isDropbox {
+	if !c.Dropbox {
 		return
 	}
 	s.DropboxFlows++
-	if r.NotifyHost != 0 {
+	if c.Notify {
 		s.NotifyFlows++
 		s.Households[r.Client] = struct{}{}
 		s.Devices[r.NotifyHost] = struct{}{}
@@ -207,13 +247,12 @@ func (s *Summary) Consume(r *traces.FlowRecord) {
 		}
 		return
 	}
-	svc := classify.DropboxService(r)
-	if svc != dnssim.SvcClientStorage {
+	if c.Service != dnssim.SvcClientStorage {
 		s.ControlFlows++
 		return
 	}
 	s.StorageServers[r.Server] = struct{}{}
-	switch classify.TagStorage(r) {
+	switch c.Dir {
 	case classify.DirStore:
 		p := classify.Payload(r, classify.DirStore)
 		s.StoreFlows++
@@ -224,8 +263,6 @@ func (s *Summary) Consume(r *traces.FlowRecord) {
 		s.RetrieveFlows++
 		s.RetrieveBytes += p
 		s.RetrieveSizes.Observe(float64(p))
-	default:
-		s.ControlFlows++
 	}
 }
 

@@ -16,6 +16,7 @@ package flowmodel
 import (
 	"time"
 
+	"insidedropbox/internal/capability"
 	"insidedropbox/internal/classify"
 	"insidedropbox/internal/dropbox"
 	"insidedropbox/internal/simrand"
@@ -39,7 +40,20 @@ type Params struct {
 	ClientReaction time.Duration
 	ServerReaction time.Duration
 	// Version selects per-chunk (1.2.52) or bundled (1.4.0) operations.
+	// Caps, when set, overrides it with an arbitrary capability profile:
+	// operation grouping follows the profile's bundling knobs, and
+	// CommitPipelining switches the timing model from sequential
+	// per-operation acknowledgments to overlapped transfers.
 	Version dropbox.Version
+	Caps    *capability.Profile
+}
+
+// profile resolves the effective capability profile of the params.
+func (p Params) profile() capability.Profile {
+	if p.Caps != nil {
+		return *p.Caps
+	}
+	return p.Version.Profile()
 }
 
 // DefaultParams matches the packet-level defaults for a campus client.
@@ -103,30 +117,31 @@ type StorageFlowSpec struct {
 	ServerClosesIdle bool
 }
 
-// op groups chunks into storage operations per the protocol version.
+// op groups chunks into storage operations per the capability profile.
 type op struct {
 	wire int // payload bytes of the operation's data message (sum of chunks)
 }
 
-func groupOps(version dropbox.Version, chunks []int) []op {
-	if version == dropbox.V1252 {
+func groupOps(prof capability.Profile, chunks []int) []op {
+	if !prof.Bundling {
 		ops := make([]op, len(chunks))
 		for i, c := range chunks {
 			ops[i] = op{wire: c}
 		}
 		return ops
 	}
+	target := prof.BundleTarget()
 	var ops []op
 	cur := op{}
 	n := 0
 	for _, c := range chunks {
-		if n > 0 && cur.wire+c > dropbox.BundleTargetBytes {
+		if n > 0 && cur.wire+c > target {
 			ops = append(ops, cur)
 			cur, n = op{}, 0
 		}
 		cur.wire += c
 		n++
-		if c >= dropbox.BundleTargetBytes/4 {
+		if c >= target/4 {
 			ops = append(ops, cur)
 			cur, n = op{}, 0
 		}
@@ -178,7 +193,8 @@ func (c *cwndModel) transfer(n int64, rtt time.Duration, bw float64) time.Durati
 // slow-start model plus per-operation reaction times and the sequential
 // acknowledgment round trips.
 func Synthesize(rng *simrand.Source, p Params, spec StorageFlowSpec) *traces.FlowRecord {
-	ops := groupOps(p.Version, spec.ChunkWires)
+	prof := p.profile()
+	ops := groupOps(prof, spec.ChunkWires)
 	hs := tlssim.DefaultHandshake()
 	rec := &traces.FlowRecord{
 		FirstPacket: spec.Start,
@@ -225,23 +241,68 @@ func Synthesize(rng *simrand.Source, p Params, spec StorageFlowSpec) *traces.Flo
 	var lastUp, lastDown time.Duration
 	lastUp = t - rtt/2 // client finish write
 	lastDown = t - rtt // server finish
-	for i, o := range ops {
-		if i > 0 {
-			t += time.Duration(rng.LogNormalMedian(float64(p.ClientReaction), 0.5))
+	if prof.CommitPipelining && len(ops) > 0 {
+		// Pipelined commits: every operation is issued without waiting for
+		// the previous acknowledgment, so per-operation round trips and
+		// server reactions overlap with data transfer (removing the
+		// sequential-acknowledgment floor of Sec. 4.4.2). What remains is
+		// the client's own issue spacing — the packet-level pipelined
+		// client still separates issues by a reaction time (hashing,
+		// compression), so the flow takes at least that long — plus one
+		// exposed server reaction at the boundary.
+		var issueSpan time.Duration
+		for i := range ops {
+			if i > 0 {
+				issueSpan += time.Duration(rng.LogNormalMedian(float64(p.ClientReaction), 0.5))
+			}
 		}
 		srv := time.Duration(rng.LogNormalMedian(float64(p.ServerReaction), 0.5))
+		var payload int64
+		for _, o := range ops {
+			if spec.Dir == classify.DirStore {
+				payload += int64(dropbox.StoreClientOverhead + o.wire)
+			} else {
+				payload += int64(dropbox.ServerOpOverhead + o.wire)
+			}
+		}
+		span := cw.transfer(payload, rtt, p.Bandwidth)
+		if issueSpan > span {
+			span = issueSpan
+		}
 		if spec.Dir == classify.DirStore {
-			dataT := cw.transfer(int64(dropbox.StoreClientOverhead+o.wire), rtt, p.Bandwidth)
-			t += dataT
+			t += span
 			lastUp = t - rtt/2 // last data segment passes the probe
-			t += srv           // server processes, then the OK returns
+			t += srv           // final OK trails the stream
 			lastDown = t
 		} else {
-			t += rtt/2 + srv // request reaches server, processing
-			dataT := cw.transfer(int64(dropbox.ServerOpOverhead+o.wire), rtt, p.Bandwidth)
-			t += dataT
-			lastUp = t - dataT - srv // request segments
+			// Requests issue from the handshake end over issueSpan; the
+			// last one, not the first, is the final upstream payload
+			// (otherwise long transfers trip the 60 s idle-close
+			// compensation in classify.TransferDuration).
+			lastUp = t + issueSpan
+			t += rtt/2 + srv // first request reaches server, processing
+			t += span
 			lastDown = t - rtt/2
+		}
+	} else {
+		for i, o := range ops {
+			if i > 0 {
+				t += time.Duration(rng.LogNormalMedian(float64(p.ClientReaction), 0.5))
+			}
+			srv := time.Duration(rng.LogNormalMedian(float64(p.ServerReaction), 0.5))
+			if spec.Dir == classify.DirStore {
+				dataT := cw.transfer(int64(dropbox.StoreClientOverhead+o.wire), rtt, p.Bandwidth)
+				t += dataT
+				lastUp = t - rtt/2 // last data segment passes the probe
+				t += srv           // server processes, then the OK returns
+				lastDown = t
+			} else {
+				t += rtt/2 + srv // request reaches server, processing
+				dataT := cw.transfer(int64(dropbox.ServerOpOverhead+o.wire), rtt, p.Bandwidth)
+				t += dataT
+				lastUp = t - dataT - srv // request segments
+				lastDown = t - rtt/2
+			}
 		}
 	}
 	rec.LastPayloadUp, rec.LastPayloadDown = lastUp, lastDown

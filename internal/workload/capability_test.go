@@ -1,0 +1,129 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"insidedropbox/internal/capability"
+	"insidedropbox/internal/traces"
+)
+
+// shortCfg trims a vantage point to a fast test-sized campaign.
+func shortCfg(cfg VPConfig) VPConfig {
+	cfg.Days = 5
+	return cfg
+}
+
+// TestPresetCapsMatchLegacyVersionPaths pins the capability refactor's core
+// contract: a Caps override set to the preset matching the vantage point's
+// Version produces a bit-identical record stream — the Version branches and
+// the profile branches are the same data plane.
+func TestPresetCapsMatchLegacyVersionPaths(t *testing.T) {
+	cases := []struct {
+		name   string
+		cfg    VPConfig
+		preset capability.Profile
+	}{
+		{"campus1-v1252", shortCfg(Campus1(0.1)), capability.DropboxV1252()},
+		{"campus1-junjul-v140", shortCfg(Campus1JunJul(0.1)), capability.DropboxV140()},
+		{"home2-v1252", shortCfg(Home2(0.004)), capability.DropboxV1252()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			legacy := Generate(tc.cfg, 42)
+
+			withCaps := tc.cfg
+			p := tc.preset
+			withCaps.Caps = &p
+			// The profile's IW must equal the calibrated ServerIW for the
+			// comparison to be meaningful (profiles override ServerIW).
+			if p.IW() != tc.cfg.ServerIW {
+				t.Fatalf("preset IW %d != calibrated ServerIW %d", p.IW(), tc.cfg.ServerIW)
+			}
+			got := Generate(withCaps, 42)
+
+			if len(got.Records) != len(legacy.Records) {
+				t.Fatalf("record count: caps %d vs legacy %d", len(got.Records), len(legacy.Records))
+			}
+			for i := range legacy.Records {
+				if !reflect.DeepEqual(*got.Records[i], *legacy.Records[i]) {
+					t.Fatalf("record %d diverged:\ncaps   %+v\nlegacy %+v",
+						i, *got.Records[i], *legacy.Records[i])
+				}
+			}
+			if got.DropboxHouseholds != legacy.DropboxHouseholds || got.DropboxDevices != legacy.DropboxDevices {
+				t.Fatalf("ground truth diverged: %d/%d vs %d/%d",
+					got.DropboxHouseholds, got.DropboxDevices,
+					legacy.DropboxHouseholds, legacy.DropboxDevices)
+			}
+		})
+	}
+}
+
+// TestHypotheticalProfilesChangeTraffic sanity-checks that the what-if
+// knobs actually reach the wire: disabling dedup or delta encoding must
+// move more storage bytes than the 1.4.0 baseline on the same seed.
+func TestHypotheticalProfilesChangeTraffic(t *testing.T) {
+	base := shortCfg(Campus1JunJul(0.25))
+	storeVolume := func(caps capability.Profile) float64 {
+		cfg := base
+		cfg.Caps = &caps
+		var total float64
+		GenerateShard(cfg, 77, 0, 1, func(r *traces.FlowRecord) {
+			total += float64(r.BytesUp)
+		})
+		return total
+	}
+	baseline := storeVolume(capability.DropboxV140())
+	noDedup := storeVolume(capability.NoDedup())
+	noDelta := storeVolume(capability.NoDelta())
+	if noDedup <= baseline {
+		t.Fatalf("no-dedup upload bytes %.3g <= baseline %.3g", noDedup, baseline)
+	}
+	// Only the edited-file mass inflates without delta encoding, and
+	// profile streams resample the heavy tail, so assert direction rather
+	// than a magnitude the tail noise could dominate.
+	if noDelta <= baseline {
+		t.Fatalf("no-delta upload bytes %.3g <= baseline %.3g", noDelta, baseline)
+	}
+}
+
+// TestShardsShareIPBase pins the cross-shard address plane: every shard
+// of a run must draw subscriber IPs from the same 10.X base, or large
+// populations alias client addresses across shards. (Below 62500
+// subscribers the second octet is exactly the shared base.)
+func TestShardsShareIPBase(t *testing.T) {
+	cfg := Campus1(0.2)
+	cfg.Days = 2
+	bases := map[byte]bool{}
+	for sh := 0; sh < 3; sh++ {
+		GenerateShard(cfg, 4, sh, 3, func(r *traces.FlowRecord) {
+			ip := uint32(r.Client)
+			if byte(ip>>24) == 10 {
+				bases[byte(ip>>16)] = true
+			}
+		})
+	}
+	if len(bases) != 1 {
+		t.Fatalf("shards drew %d distinct IP bases (%v), want 1 shared base", len(bases), bases)
+	}
+}
+
+// TestProfileDeterminism pins the contract extension: the same (seed,
+// population, profile) triple regenerates identical records even for
+// profiles whose extra branches draw from the random stream.
+func TestProfileDeterminism(t *testing.T) {
+	cfg := shortCfg(Campus1(0.1))
+	p := capability.NoDedup()
+	cfg.Caps = &p
+	a := Generate(cfg, 9)
+	b := Generate(cfg, 9)
+	if len(a.Records) != len(b.Records) {
+		t.Fatalf("record counts differ: %d vs %d", len(a.Records), len(b.Records))
+	}
+	for i := range a.Records {
+		if !reflect.DeepEqual(*a.Records[i], *b.Records[i]) {
+			t.Fatalf("record %d not reproducible", i)
+		}
+	}
+}

@@ -7,11 +7,18 @@
 //
 // Parameter values are calibrated against the paper's published numbers;
 // each field's comment cites the source.
+//
+// Client capabilities are pluggable: each vantage point carries the
+// Version the paper observed there, and VPConfig.Caps swaps in an
+// arbitrary capability.Profile for counterfactual campaigns. The Dropbox
+// presets regenerate the calibrated populations bit for bit (pinned by
+// TestPresetCapsMatchLegacyVersionPaths).
 package workload
 
 import (
 	"time"
 
+	"insidedropbox/internal/capability"
 	"insidedropbox/internal/dropbox"
 	"insidedropbox/internal/simrand"
 )
@@ -101,6 +108,13 @@ type VPConfig struct {
 	Version  dropbox.Version
 	ServerIW int
 
+	// Caps, when set, replaces the Version-derived client capabilities
+	// with an arbitrary profile — the what-if hook. The profile's server
+	// initial window then also overrides ServerIW (client releases and
+	// server tuning deployed jointly, Table 4). Nil reproduces the
+	// historical Version behaviour bit for bit.
+	Caps *capability.Profile
+
 	// AbnormalUploader plants the Home 2 device that submitted single
 	// 4 MB chunks in consecutive TCP connections for days (Sec. 4.3.1).
 	AbnormalUploader bool
@@ -113,6 +127,16 @@ type VPConfig struct {
 	// of it (Campus 2: Dropbox ≈ one third of YouTube, 4% of total).
 	DailyBackgroundGB float64
 	YouTubeShare      float64
+}
+
+// EffectiveCaps resolves a vantage point's client capability profile:
+// the explicit Caps override when set, else the profile of the calibrated
+// Version switch.
+func EffectiveCaps(cfg VPConfig) capability.Profile {
+	if cfg.Caps != nil {
+		return *cfg.Caps
+	}
+	return cfg.Version.Profile()
 }
 
 // campaignStart aligns day 0 with Saturday March 24, 2012 (the capture

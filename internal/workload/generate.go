@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"insidedropbox/internal/capability"
 	"insidedropbox/internal/chunker"
 	"insidedropbox/internal/classify"
 	"insidedropbox/internal/dropbox"
@@ -74,6 +75,7 @@ type household struct {
 // generator carries the run state of one shard.
 type generator struct {
 	cfg     VPConfig
+	caps    capability.Profile // resolved client capability profile
 	rng     *simrand.Source
 	emit    func(*traces.FlowRecord)
 	stats   ShardStats
@@ -193,6 +195,7 @@ func GenerateShard(cfg VPConfig, seed int64, shard, nshards int, emit func(*trac
 	}
 	g := &generator{
 		cfg:         cfg,
+		caps:        EffectiveCaps(cfg),
 		rng:         simrand.New(ShardSeed(seed, shard), fmt.Sprintf("workload/%s/%d.%d", cfg.Name, shard, nshards)),
 		emit:        emit,
 		horizon:     time.Duration(cfg.Days) * 24 * time.Hour,
@@ -212,7 +215,16 @@ func GenerateShard(cfg VPConfig, seed int64, shard, nshards int, emit func(*trac
 		g.stats.YouTubeByDay = make([]float64, cfg.Days)
 		g.background()
 	}
+	// All shards must share one IP-plane base, or large sharded populations
+	// alias client addresses across shards (two shards' 62500-subscriber
+	// blocks landing on the same second octet, silently merging
+	// households). The shard-local draw is kept so the 1-shard stream
+	// stays bit-compatible with the legacy sequential generator;
+	// multi-shard runs derive the shared base from the campaign seed.
 	ipBase := g.rng.Intn(200)
+	if nshards > 1 {
+		ipBase = int(uint64(simrand.DeriveSeed(seed, "workload/ipbase")) % 200)
+	}
 	lo, hi := ShardRange(cfg.TotalIPs, shard, nshards)
 	for i := lo; i < hi; i++ {
 		g.subscriber(SubscriberIP(ipBase, i))
@@ -605,19 +617,29 @@ func online(d *device, at time.Duration) bool {
 }
 
 // fileSize draws a synchronization event's byte size: mostly small deltas,
-// a heavy tail of archives (Fig. 7's shape after chunking/batching).
+// a heavy tail of archives (Fig. 7's shape after chunking/batching). The
+// two small branches are transfers of *edited* files, shrunk by delta
+// encoding; when the capability profile disables it, those — and only
+// those — re-transfer the whole file (the archive tail was never
+// delta-encoded, so it is unaffected by the knob).
 func (g *generator) fileSize() int64 {
 	u := g.rng.Float64()
 	var v float64
+	editDelta := false
 	switch {
 	case u < 0.60:
 		v = g.rng.LogNormalMedian(9e3, 1.3) // deltas of constantly-edited files
+		editDelta = true
 	case u < 0.85:
-		v = g.rng.LogNormalMedian(120e3, 1.1)
+		v = g.rng.LogNormalMedian(120e3, 1.1) // modified documents and media
+		editDelta = true
 	case u < 0.97:
 		v = g.rng.LogNormalMedian(2e6, 1.0)
 	default:
 		v = g.rng.LogNormalMedian(40e6, 0.8)
+	}
+	if editDelta && !g.caps.DeltaEncoding {
+		v *= capability.NoDeltaInflate
 	}
 	if v < 100 {
 		v = 100
@@ -675,21 +697,39 @@ func foldFlow(dst, src *traces.FlowRecord) {
 	dst.LastPacket = src.LastPacket
 }
 
-// storageFlows chunks a synchronization event, applies compression, splits
-// into <=100-chunk batches (Sec. 2.3.2 caps flows near 400 MB this way)
-// and emits flows, reusing open connections within the idle window.
+// storageFlows chunks a synchronization event per the capability profile
+// (chunk size limit, delta encoding, compression, dedup), splits into
+// <=100-chunk batches (Sec. 2.3.2 caps flows near 400 MB this way) and
+// emits flows, reusing open connections within the idle window.
 func (g *generator) storageFlows(hh *household, dev *device, at time.Duration,
 	dir classify.Direction, files []int64, mergers *[2]*mergeState) {
 
+	chunkLimit := g.caps.ChunkLimit()
+	// Server-side dedup (need_blocks) spares upload traffic only; the
+	// download path never benefited from it, so disabling it inflates
+	// store events alone — matching the packet-level client, whose Dedup
+	// branch sits in the upload path.
+	dedupOff := !g.caps.Dedup && dir == classify.DirStore
 	var wires []int
 	for _, size := range files {
+		// The compression ratio is always drawn, so profiles that disable
+		// compression keep the random stream aligned with the presets.
 		ratio := g.rng.Uniform(0.55, 1.0)
-		for _, r := range (chunker.SyntheticFile{Seed: g.rng.Uint64(), Size: size}).Refs() {
+		if !g.caps.Compression {
+			ratio = 1.0
+		}
+		for _, r := range (chunker.SyntheticFile{Seed: g.rng.Uint64(), Size: size}).RefsLimit(chunkLimit) {
 			w := int(float64(r.Size) * ratio)
 			if w < 1 {
 				w = 1
 			}
 			wires = append(wires, w)
+			if dedupOff && g.rng.Bool(capability.DedupHitFrac) {
+				// Without server-side dedup, the chunks need_blocks used to
+				// spare the wire transfer too: re-materialize them as
+				// duplicate per-chunk traffic.
+				wires = append(wires, w)
+			}
 		}
 	}
 	slot := 0
@@ -749,10 +789,16 @@ func (g *generator) params(access AccessKind, dir classify.Direction) flowmodel.
 	if bw > 1.25e6 {
 		bw = 1.25e6 // per-server ceiling (Sec. 4.4)
 	}
+	iw := g.cfg.ServerIW
+	if g.cfg.Caps != nil {
+		// Explicit profiles carry their own server tuning (client releases
+		// and IW raises deployed jointly, Table 4).
+		iw = g.caps.IW()
+	}
 	return flowmodel.Params{
 		RTT:       g.rng.Jitter(g.cfg.StorageRTT, 0.04),
 		Bandwidth: bw,
-		IW:        g.cfg.ServerIW,
+		IW:        iw,
 		// The 2012 Python client hashed/compressed slowly and loaded
 		// storage front-ends added server reaction time; Fig. 10
 		// attributes most long-flow duration to these (100-chunk flows
@@ -760,6 +806,7 @@ func (g *generator) params(access AccessKind, dir classify.Direction) flowmodel.
 		ClientReaction: 160 * time.Millisecond,
 		ServerReaction: 90 * time.Millisecond,
 		Version:        g.cfg.Version,
+		Caps:           &g.caps,
 	}
 }
 
