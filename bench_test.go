@@ -9,6 +9,7 @@ package insidedropbox
 
 import (
 	"fmt"
+	"io"
 	"runtime"
 	"sync"
 	"testing"
@@ -22,6 +23,7 @@ import (
 	"insidedropbox/internal/fleet"
 	"insidedropbox/internal/flowmodel"
 	"insidedropbox/internal/simrand"
+	"insidedropbox/internal/traces"
 	"insidedropbox/internal/workload"
 )
 
@@ -326,4 +328,85 @@ func BenchmarkFleetCampaign(b *testing.B) {
 			}
 		}
 	})
+}
+
+// ---------- record pipeline: serialization and pooled generation ----------
+
+// BenchmarkTraceWriteCSV measures the compatibility serializer on a
+// pre-generated dataset.
+func BenchmarkTraceWriteCSV(b *testing.B) {
+	ds := workload.Generate(workload.Home1(0.02), 42)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var n int64
+	for i := 0; i < b.N; i++ {
+		w := traces.NewWriter(io.Discard)
+		w.Anonymize = true
+		for _, r := range ds.Records {
+			if err := w.Write(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		n += int64(len(ds.Records))
+	}
+	b.ReportMetric(float64(n)/b.Elapsed().Seconds(), "records/s")
+}
+
+// BenchmarkTraceWriteBinary measures the binary columnar serializer on the
+// same dataset — the allocation-free fast path.
+func BenchmarkTraceWriteBinary(b *testing.B) {
+	ds := workload.Generate(workload.Home1(0.02), 42)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var n int64
+	for i := 0; i < b.N; i++ {
+		w := traces.NewBinaryWriter(io.Discard)
+		w.Anonymize = true
+		for _, r := range ds.Records {
+			if err := w.Write(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		n += int64(len(ds.Records))
+	}
+	b.ReportMetric(float64(n)/b.Elapsed().Seconds(), "records/s")
+}
+
+// BenchmarkGeneratePooled measures one pooled shard generation — the
+// allocation profile the fleet aggregation path runs at (allocs/op divided
+// by the record count is the allocs-per-record figure cmd/bench tracks).
+func BenchmarkGeneratePooled(b *testing.B) {
+	cfg := workload.Home1(0.05)
+	b.ReportAllocs()
+	var records int64
+	for i := 0; i < b.N; i++ {
+		pool := new(fleet.RecordPool)
+		stats := workload.GenerateShardSink(cfg, 42, 0, 1, workload.ShardSink{
+			Emit:  func(r *traces.FlowRecord) { pool.Put(r) },
+			Alloc: pool.Get,
+			Free:  pool.Put,
+		})
+		records += int64(stats.Records)
+	}
+	b.ReportMetric(float64(records)/b.Elapsed().Seconds(), "records/s")
+}
+
+// BenchmarkFleetSummarizePooled measures the full 8-shard streaming
+// aggregation — the cmd/bench fleet/home1-8shard scenario as a Go
+// benchmark.
+func BenchmarkFleetSummarizePooled(b *testing.B) {
+	cfg := workload.Home1(0.05)
+	b.ReportAllocs()
+	var records int64
+	for i := 0; i < b.N; i++ {
+		_, stats := fleet.Summarize(cfg, 42, fleet.Config{Shards: 8})
+		records += int64(stats.Records)
+	}
+	b.ReportMetric(float64(records)/b.Elapsed().Seconds(), "records/s")
 }

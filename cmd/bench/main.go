@@ -1,0 +1,142 @@
+// Command bench runs the repo's tracked performance harness: the pinned
+// generation / aggregation / serialization workload catalogue of
+// internal/bench, written as a machine-readable BENCH_<rev>.json so every
+// PR records a perf trajectory point and can be gated against the last
+// one. See PERFORMANCE.md for the scenario catalogue and the workflow.
+//
+// Usage:
+//
+//	bench [-quick] [-rev LABEL] [-o FILE] [-scenarios SUBSTR]
+//	      [-compare FILE|auto] [-max-allocs-ratio F]
+//
+// Without -o the report lands in BENCH_<rev>.json in the current
+// directory; -rev defaults to the git short revision of the working tree.
+// -compare loads a baseline report ("auto" picks the most recently
+// recorded BENCH_*.json in the current directory) and exits non-zero if
+// any scenario's allocs-per-record regressed beyond -max-allocs-ratio —
+// the timing-independent gate CI runs at -quick scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"insidedropbox/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "CI-smoke scales (seconds, not minutes)")
+	rev := flag.String("rev", "", "revision label for the report (default: git short rev)")
+	out := flag.String("o", "", "output file (default BENCH_<rev>.json)")
+	scenarios := flag.String("scenarios", "", "only run scenarios whose name contains this substring")
+	compare := flag.String("compare", "", "baseline BENCH_*.json to gate against, or 'auto' for the latest in the current directory")
+	maxRatio := flag.Float64("max-allocs-ratio", 2.0, "fail -compare when allocs/record exceeds baseline by this factor")
+	list := flag.Bool("list", false, "print the scenario catalogue and exit")
+	flag.Parse()
+
+	if *list {
+		for _, n := range bench.ScenarioNames() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	if *rev == "" {
+		*rev = gitRev()
+	}
+	opts := bench.Options{Quick: *quick, Rev: *rev, Log: os.Stderr}
+	if *scenarios != "" {
+		opts.Filter = func(name string) bool { return strings.Contains(name, *scenarios) }
+	}
+
+	// Resolve and load the comparison baseline before anything is written,
+	// so the report this run produces can never be selected (or survive
+	// being overwritten) as its own baseline.
+	var baseline *bench.Report
+	if *compare != "" {
+		basePath := *compare
+		if basePath == "auto" {
+			latest, err := bench.FindLatest(".", *quick)
+			if err != nil || latest == "" {
+				fmt.Fprintln(os.Stderr, "bench: no baseline BENCH_*.json found for -compare auto")
+				os.Exit(2)
+			}
+			basePath = latest
+		}
+		var err error
+		baseline, err = bench.Load(basePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+	}
+
+	rep := bench.Run(opts)
+	if len(rep.Scenarios) == 0 {
+		fmt.Fprintln(os.Stderr, "bench: no scenarios matched")
+		os.Exit(2)
+	}
+
+	path := *out
+	if path == "" {
+		path = bench.FileName(*rev)
+	}
+	if err := rep.Save(path); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "bench: wrote %s (peak RSS %.1f MB)\n",
+		path, float64(rep.PeakRSSBytes)/1e6)
+
+	if baseline == nil {
+		return
+	}
+	violations, notes := bench.Compare(rep, baseline, *maxRatio)
+	for _, n := range notes {
+		fmt.Fprintln(os.Stderr, "bench:", n)
+	}
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "bench: REGRESSION:", v)
+		}
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "bench: allocs/record within %.1fx of baseline %s\n",
+		*maxRatio, baseline.Rev)
+}
+
+// gitRev resolves the working tree's short revision by reading .git
+// directly (no git binary dependency); "dev" when unresolvable.
+func gitRev() string {
+	head, err := os.ReadFile(".git/HEAD")
+	if err != nil {
+		return "dev"
+	}
+	ref := strings.TrimSpace(string(head))
+	if sha, ok := strings.CutPrefix(ref, "ref: "); ok {
+		if data, err := os.ReadFile(filepath.Join(".git", filepath.FromSlash(sha))); err == nil {
+			ref = strings.TrimSpace(string(data))
+		} else if packed, err := os.ReadFile(".git/packed-refs"); err == nil {
+			ref = findPackedRef(string(packed), sha)
+		} else {
+			return "dev"
+		}
+	}
+	if len(ref) < 12 || strings.ContainsAny(ref, " \t/") {
+		return "dev"
+	}
+	return ref[:12]
+}
+
+// findPackedRef scans a packed-refs file for the named ref.
+func findPackedRef(packed, name string) string {
+	for _, line := range strings.Split(packed, "\n") {
+		if strings.HasSuffix(line, " "+name) {
+			return strings.TrimSpace(strings.TrimSuffix(line, name))
+		}
+	}
+	return ""
+}

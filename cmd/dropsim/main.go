@@ -1,18 +1,23 @@
 // Command dropsim generates one vantage point's 42-day flow-record dataset
 // through the sharded fleet engine and writes it as anonymized CSV (the
-// format of the paper's public trace release), or — with -summary —
-// reduces it to streaming aggregates without ever materializing records.
+// format of the paper's public trace release) or as the binary columnar
+// trace format (-format=binary, ~3.5x smaller and allocation-free on write),
+// or — with -summary — reduces it to streaming aggregates without ever
+// materializing records.
 //
 // Usage:
 //
 //	dropsim [-vp campus1|campus2|home1|home2] [-scale F] [-seed N]
 //	        [-shards N] [-workers N] [-devices-scale F]
-//	        [-profile NAME] [-summary] [-o FILE]
+//	        [-profile NAME] [-format csv|binary] [-summary] [-o FILE]
 //
-// Records stream from the generator shards straight into the CSV writer,
-// so memory stays bounded however large -scale and -devices-scale grow the
-// population. -shards changes the population sample (each shard draws an
-// independent seeded stream); -workers only changes wall-clock time.
+// Records stream from the generator shards straight into the trace
+// writer, so memory stays bounded however large -scale and -devices-scale
+// grow the population. -shards changes the population sample (each shard
+// draws an independent seeded stream); -workers only changes wall-clock
+// time. The serialization format never changes the record stream itself —
+// a binary export decodes to exactly the rows the CSV export carries
+// (PERFORMANCE.md documents that contract).
 //
 // Rows are emitted in deterministic shard/generation order, not sorted by
 // first-packet time as the materializing GenerateDataset export is — a
@@ -46,9 +51,15 @@ func main() {
 	devScale := flag.Float64("devices-scale", 1, "population multiplier on top of -scale")
 	profile := flag.String("profile", "", "capability profile overriding the VP's client version: "+
 		strings.Join(insidedropbox.CapabilityNames(), "|"))
-	summary := flag.Bool("summary", false, "print streaming aggregates instead of CSV records")
+	format := flag.String("format", "csv", "trace format: csv (public-release compatible) or binary (columnar, ~3.5x smaller)")
+	summary := flag.Bool("summary", false, "print streaming aggregates instead of trace records")
 	out := flag.String("o", "", "output file (default stdout)")
 	flag.Parse()
+
+	if *format != "csv" && *format != "binary" {
+		fmt.Fprintf(os.Stderr, "unknown format %q (valid: csv, binary)\n", *format)
+		os.Exit(2)
+	}
 
 	var cfg insidedropbox.VPConfig
 	switch *vp {
@@ -93,7 +104,7 @@ func main() {
 		return
 	}
 
-	stats, volume, err := streamCSV(cfg, *seed, fc, w)
+	stats, volume, err := streamTraces(cfg, *seed, fc, w, *format)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "writing traces:", err)
 		os.Exit(1)
@@ -123,14 +134,21 @@ func printSummary(cfg insidedropbox.VPConfig, seed int64, fc insidedropbox.Fleet
 		stats.Cfg.Name, stats.Records, stats.Devices)
 }
 
-// streamCSV pipes records from the generator shards straight into the trace
-// writer without materializing the dataset. A write error latches and
-// skips all further writes; generation itself still runs to completion
-// (the engine has no cancellation path yet).
-func streamCSV(cfg insidedropbox.VPConfig, seed int64, fc insidedropbox.FleetConfig,
-	w io.Writer) (insidedropbox.FleetStats, float64, error) {
+// streamTraces pipes records from the generator shards straight into the
+// chosen trace writer without materializing the dataset. A write error
+// latches and skips all further writes; generation itself still runs to
+// completion (the engine has no cancellation path yet).
+func streamTraces(cfg insidedropbox.VPConfig, seed int64, fc insidedropbox.FleetConfig,
+	w io.Writer, format string) (insidedropbox.FleetStats, float64, error) {
 
-	tw := insidedropbox.NewTraceWriter(w)
+	var tw insidedropbox.RecordWriter
+	var bw *bufio.Writer
+	if format == "binary" {
+		bw = bufio.NewWriterSize(w, 1<<16)
+		tw = insidedropbox.NewBinaryTraceWriter(bw)
+	} else {
+		tw = insidedropbox.NewTraceWriter(w)
+	}
 	var volume float64
 	var writeErr error
 	stats := insidedropbox.StreamDataset(cfg, seed, fc, func(r *insidedropbox.FlowRecord) {
@@ -141,6 +159,9 @@ func streamCSV(cfg insidedropbox.VPConfig, seed int64, fc insidedropbox.FleetCon
 	})
 	if writeErr == nil {
 		writeErr = tw.Flush()
+	}
+	if bw != nil && writeErr == nil {
+		writeErr = bw.Flush()
 	}
 	return stats, volume, writeErr
 }

@@ -59,6 +59,18 @@ type FlowRecord = traces.FlowRecord
 // TraceWriter streams flow records as CSV.
 type TraceWriter = traces.Writer
 
+// BinaryTraceWriter streams flow records in the block-columnar binary
+// format: ~3.5x smaller than CSV and allocation-free on the write side (the
+// wire format is documented in internal/traces/binary.go).
+type BinaryTraceWriter = traces.BinaryWriter
+
+// BinaryTraceReader parses binary trace streams back into records.
+type BinaryTraceReader = traces.BinaryReader
+
+// RecordWriter is the sink interface both trace serializations implement;
+// format-agnostic exporters write through it.
+type RecordWriter = traces.RecordWriter
+
 // NewTraceWriter returns an anonymizing CSV trace writer (the format of
 // the paper's public release), for streaming exports that never hold a
 // full dataset.
@@ -66,6 +78,20 @@ func NewTraceWriter(w io.Writer) *TraceWriter {
 	tw := traces.NewWriter(w)
 	tw.Anonymize = true
 	return tw
+}
+
+// NewBinaryTraceWriter returns an anonymizing binary trace writer — the
+// performance path for population-scale exports (cmd/dropsim
+// -format=binary).
+func NewBinaryTraceWriter(w io.Writer) *BinaryTraceWriter {
+	tw := traces.NewBinaryWriter(w)
+	tw.Anonymize = true
+	return tw
+}
+
+// NewBinaryTraceReader wraps a binary trace stream for reading.
+func NewBinaryTraceReader(r io.Reader) *BinaryTraceReader {
+	return traces.NewBinaryReader(r)
 }
 
 // VPConfig parameterizes a vantage point population.

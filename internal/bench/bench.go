@@ -1,0 +1,486 @@
+// Package bench is the repo's tracked performance harness: a fixed
+// catalogue of pinned generation, aggregation and serialization workloads
+// whose measurements are recorded as machine-readable BENCH_<rev>.json
+// files at the repository root, so every PR has a baseline to beat and a
+// regression gate to pass.
+//
+// The harness measures wall-clock throughput (records/sec, MB/sec) and
+// allocator pressure (allocs and allocated bytes per record, via
+// runtime.MemStats deltas around each scenario) plus the process peak RSS
+// (VmHWM on Linux). Scenario populations and seeds are constants: two
+// reports are comparable if and only if their scenario names and Quick
+// flags match — Compare enforces exactly that.
+//
+// Scenarios deliberately span the whole record pipeline: raw single-shard
+// generation, the 8-shard fleet aggregation path, the what-if engine, both
+// trace serializations, and the end-to-end sharded export. See
+// PERFORMANCE.md for the catalogue, the JSON schema, and the workflow for
+// recording and comparing runs across PRs.
+package bench
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"insidedropbox/internal/capability"
+	"insidedropbox/internal/experiments"
+	"insidedropbox/internal/fleet"
+	"insidedropbox/internal/traces"
+	"insidedropbox/internal/workload"
+)
+
+// Schema is the BENCH_*.json schema version.
+const Schema = 1
+
+// benchSeed pins every scenario's campaign seed.
+const benchSeed = 2012
+
+// ScenarioResult is one measured workload.
+type ScenarioResult struct {
+	Name    string `json:"name"`
+	Records int64  `json:"records"`
+	// Bytes is the serialized output volume, for scenarios that write.
+	Bytes   int64   `json:"bytes,omitempty"`
+	Seconds float64 `json:"seconds"`
+
+	RecordsPerSec float64 `json:"records_per_sec"`
+	// MBPerSec is output megabytes per second (only when Bytes > 0).
+	MBPerSec            float64 `json:"mb_per_sec,omitempty"`
+	AllocsPerRecord     float64 `json:"allocs_per_record"`
+	AllocBytesPerRecord float64 `json:"alloc_bytes_per_record"`
+}
+
+// Report is one recorded harness run — the content of a BENCH_<rev>.json.
+type Report struct {
+	Schema         int    `json:"schema"`
+	Rev            string `json:"rev"`
+	RecordedAtUnix int64  `json:"recorded_at_unix"`
+	GoVersion      string `json:"go"`
+	GOOS           string `json:"goos"`
+	GOARCH         string `json:"goarch"`
+	GOMAXPROCS     int    `json:"gomaxprocs"`
+	Quick          bool   `json:"quick"`
+	// PeakRSSBytes is the process high-water RSS after all scenarios ran
+	// (0 where /proc/self/status is unavailable). It is a whole-process
+	// figure, so it reflects the largest scenario, not a sum.
+	PeakRSSBytes int64            `json:"peak_rss_bytes"`
+	Scenarios    []ScenarioResult `json:"scenarios"`
+}
+
+// Options configures a harness run.
+type Options struct {
+	// Quick shrinks every scenario to CI-smoke scale.
+	Quick bool
+	// Rev labels the report (git short SHA or a PR label).
+	Rev string
+	// Filter, when non-nil, selects scenarios by name.
+	Filter func(name string) bool
+	// Log, when non-nil, receives one line per scenario as it completes.
+	Log io.Writer
+}
+
+// scenario is one catalogue entry. run executes the workload and returns
+// the records processed and bytes written (0 when not a serializer);
+// setup, when present, prepares inputs outside the measured region.
+type scenario struct {
+	name  string
+	setup func(quick bool)
+	run   func(quick bool) (records, bytes int64)
+}
+
+// catalogue returns the fixed scenario set, in execution order.
+func catalogue() []scenario {
+	return []scenario{
+		{name: "generate/home1-1shard", run: runGenerate},
+		{name: "fleet/home1-8shard", run: runFleet8},
+		{name: "whatif/campus1-2profiles", run: runWhatIf},
+		{name: "serialize/csv", setup: warmSerializeDataset, run: runSerializeCSV},
+		{name: "serialize/binary", setup: warmSerializeDataset, run: runSerializeBinary},
+		{name: "export/home1-8shard-binary", run: runExportBinary},
+	}
+}
+
+// ScenarioNames lists the catalogue in order (for CLI help and docs).
+func ScenarioNames() []string {
+	cat := catalogue()
+	names := make([]string, len(cat))
+	for i, s := range cat {
+		names[i] = s.name
+	}
+	return names
+}
+
+// Run executes the catalogue and assembles the report.
+func Run(opts Options) *Report {
+	rep := &Report{
+		Schema:         Schema,
+		Rev:            opts.Rev,
+		RecordedAtUnix: time.Now().Unix(),
+		GoVersion:      runtime.Version(),
+		GOOS:           runtime.GOOS,
+		GOARCH:         runtime.GOARCH,
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		Quick:          opts.Quick,
+	}
+	for _, sc := range catalogue() {
+		if opts.Filter != nil && !opts.Filter(sc.name) {
+			continue
+		}
+		res := measure(sc, opts.Quick)
+		rep.Scenarios = append(rep.Scenarios, res)
+		if opts.Log != nil {
+			fmt.Fprintf(opts.Log, "%-28s %9.0f rec/s  %6.2f allocs/rec  %8.1f B-alloc/rec%s\n",
+				res.Name, res.RecordsPerSec, res.AllocsPerRecord, res.AllocBytesPerRecord,
+				mbCol(res))
+		}
+	}
+	rep.PeakRSSBytes = peakRSS()
+	return rep
+}
+
+func mbCol(r ScenarioResult) string {
+	if r.MBPerSec == 0 {
+		return ""
+	}
+	return fmt.Sprintf("  %8.1f MB/s", r.MBPerSec)
+}
+
+// measure runs one scenario under MemStats bracketing; setup work happens
+// before the bracket so only the workload itself is measured.
+func measure(sc scenario, quick bool) ScenarioResult {
+	if sc.setup != nil {
+		sc.setup(quick)
+	}
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	t0 := time.Now()
+	records, bytes := sc.run(quick)
+	dt := time.Since(t0)
+	runtime.ReadMemStats(&m1)
+
+	res := ScenarioResult{
+		Name:    sc.name,
+		Records: records,
+		Bytes:   bytes,
+		Seconds: dt.Seconds(),
+	}
+	if records > 0 && dt > 0 {
+		res.RecordsPerSec = float64(records) / dt.Seconds()
+		res.AllocsPerRecord = float64(m1.Mallocs-m0.Mallocs) / float64(records)
+		res.AllocBytesPerRecord = float64(m1.TotalAlloc-m0.TotalAlloc) / float64(records)
+	}
+	if bytes > 0 && dt > 0 {
+		res.MBPerSec = float64(bytes) / 1e6 / dt.Seconds()
+	}
+	return res
+}
+
+// ---------- the scenario catalogue ----------
+
+// scalesFor returns (population scale, repetitions) for the generation
+// scenarios.
+func scalesFor(quick bool) (float64, int) {
+	if quick {
+		return 0.02, 2
+	}
+	return 0.2, 5
+}
+
+// runGenerate measures raw single-shard generation: the legacy sequential
+// hot path, streaming into a counting sink.
+func runGenerate(quick bool) (int64, int64) {
+	scale, reps := scalesFor(quick)
+	cfg := workload.Home1(scale)
+	var n int64
+	for i := 0; i < reps; i++ {
+		workload.GenerateShard(cfg, benchSeed, 0, 1, func(r *traces.FlowRecord) { n++ })
+	}
+	return n, 0
+}
+
+// runFleet8 measures the sharded streaming aggregation path: 8 shards
+// folded into a fleet.Summary.
+func runFleet8(quick bool) (int64, int64) {
+	scale, reps := scalesFor(quick)
+	cfg := workload.Home1(scale)
+	var n int64
+	for i := 0; i < reps; i++ {
+		_, stats := fleet.Summarize(cfg, benchSeed, fleet.Config{Shards: 8})
+		n += int64(stats.Records)
+	}
+	return n, 0
+}
+
+// runWhatIf measures the capability what-if engine: one population
+// replayed under the two historical Dropbox profiles.
+func runWhatIf(quick bool) (int64, int64) {
+	scale := 0.5
+	if quick {
+		scale = 0.1
+	}
+	profiles, err := capability.Parse("dropbox-1.2.52,dropbox-1.4.0")
+	if err != nil {
+		panic(err)
+	}
+	rep := experiments.RunWhatIf(experiments.WhatIfConfig{
+		Seed:     benchSeed,
+		VP:       workload.Campus1(scale),
+		Fleet:    fleet.Config{Shards: 4},
+		Profiles: profiles,
+	})
+	var n int64
+	for _, run := range rep.Runs {
+		n += int64(run.Stats.Records)
+	}
+	return n, 0
+}
+
+// serializeCache memoizes the pinned dataset the serialization scenarios
+// write, per scale, so generation happens once — in the setup phase,
+// outside the measured region.
+var serializeCache = map[bool]*workload.Dataset{}
+
+// serializeDataset returns the pinned dataset and repetition count of the
+// serialization scenarios.
+func serializeDataset(quick bool) (*workload.Dataset, int) {
+	scale, reps := 0.05, 10
+	if quick {
+		scale, reps = 0.02, 2
+	}
+	ds := serializeCache[quick]
+	if ds == nil {
+		ds = workload.Generate(workload.Home1(scale), benchSeed)
+		serializeCache[quick] = ds
+	}
+	return ds, reps
+}
+
+// warmSerializeDataset is the serialization scenarios' setup hook.
+func warmSerializeDataset(quick bool) { serializeDataset(quick) }
+
+// countWriter counts bytes and discards them.
+type countWriter struct{ n int64 }
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	c.n += int64(len(p))
+	return len(p), nil
+}
+
+// runSerializeCSV measures the anonymized CSV writer against a
+// pre-generated in-memory dataset.
+func runSerializeCSV(quick bool) (int64, int64) {
+	ds, reps := serializeDataset(quick)
+	var cw countWriter
+	var n int64
+	for i := 0; i < reps; i++ {
+		w := traces.NewWriter(&cw)
+		w.Anonymize = true
+		for _, r := range ds.Records {
+			if err := w.Write(r); err != nil {
+				panic(err)
+			}
+			n++
+		}
+		if err := w.Flush(); err != nil {
+			panic(err)
+		}
+	}
+	return n, cw.n
+}
+
+// runSerializeBinary measures the binary columnar writer on the same
+// dataset as runSerializeCSV.
+func runSerializeBinary(quick bool) (int64, int64) {
+	ds, reps := serializeDataset(quick)
+	var cw countWriter
+	var n int64
+	for i := 0; i < reps; i++ {
+		w := traces.NewBinaryWriter(&cw)
+		w.Anonymize = true
+		for _, r := range ds.Records {
+			if err := w.Write(r); err != nil {
+				panic(err)
+			}
+			n++
+		}
+		if err := w.Flush(); err != nil {
+			panic(err)
+		}
+	}
+	return n, cw.n
+}
+
+// runExportBinary measures the flagship end-to-end path: 8-shard ordered
+// streaming straight into the binary writer, nothing materialized.
+func runExportBinary(quick bool) (int64, int64) {
+	scale, reps := scalesFor(quick)
+	reps = (reps + 1) / 2
+	cfg := workload.Home1(scale)
+	var cw countWriter
+	var n int64
+	for i := 0; i < reps; i++ {
+		w := traces.NewBinaryWriter(&cw)
+		w.Anonymize = true
+		fleet.StreamOrdered(cfg, benchSeed, fleet.Config{Shards: 8}, func(r *traces.FlowRecord) {
+			if err := w.Write(r); err != nil {
+				panic(err)
+			}
+			n++
+		})
+		if err := w.Flush(); err != nil {
+			panic(err)
+		}
+	}
+	return n, cw.n
+}
+
+// ---------- persistence, discovery, comparison ----------
+
+// FileName returns the canonical report file name for a revision label.
+func FileName(rev string) string { return "BENCH_" + rev + ".json" }
+
+// Write renders the report as indented JSON.
+func (r *Report) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Save writes the report to path.
+func (r *Report) Save(path string) error {
+	var buf bytes.Buffer
+	if err := r.Write(&buf); err != nil {
+		return err
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o644)
+}
+
+// Load parses one BENCH_*.json.
+func Load(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var rep Report
+	if err := json.NewDecoder(bufio.NewReader(f)).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("bench: parsing %s: %w", path, err)
+	}
+	if rep.Schema != Schema {
+		return nil, fmt.Errorf("bench: %s has schema %d, want %d", path, rep.Schema, Schema)
+	}
+	return &rep, nil
+}
+
+// FindLatest returns the most recently recorded BENCH_*.json in dir (by
+// recorded_at_unix, ties broken by file name), or "" when none exist.
+// Reports whose Quick flag matches the requested scale are preferred —
+// allocs-per-record carries scale-dependent warm-up amortization, so a
+// quick CI run should gate against the committed quick reference — with
+// any-scale reports as the fallback.
+func FindLatest(dir string, quick bool) (string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return "", err
+	}
+	sort.Strings(matches)
+	best, bestAt := "", int64(-1)
+	anyBest, anyAt := "", int64(-1)
+	for _, m := range matches {
+		rep, err := Load(m)
+		if err != nil {
+			continue // unreadable or foreign-schema files never win
+		}
+		if rep.RecordedAtUnix >= anyAt {
+			anyBest, anyAt = m, rep.RecordedAtUnix
+		}
+		if rep.Quick == quick && rep.RecordedAtUnix >= bestAt {
+			best, bestAt = m, rep.RecordedAtUnix
+		}
+	}
+	if best == "" {
+		best = anyBest
+	}
+	return best, nil
+}
+
+// Scenario returns a report's scenario by name (nil if absent).
+func (r *Report) Scenario(name string) *ScenarioResult {
+	for i := range r.Scenarios {
+		if r.Scenarios[i].Name == name {
+			return &r.Scenarios[i]
+		}
+	}
+	return nil
+}
+
+// Compare checks current against a baseline report and returns one
+// violation string per scenario whose allocs-per-record regressed beyond
+// maxAllocsRatio (e.g. 2 fails anything worse than 2x the baseline).
+// Scenarios missing from either side are skipped: the gate is
+// timing-independent, so it is safe on noisy CI machines. A baseline
+// recorded at a different Quick scale is compared all the same —
+// allocs-per-record is nearly scale-invariant — but the mismatch is
+// called out in the returned notes.
+func Compare(current, baseline *Report, maxAllocsRatio float64) (violations, notes []string) {
+	if current.Quick != baseline.Quick {
+		notes = append(notes, fmt.Sprintf(
+			"note: comparing quick=%v run against quick=%v baseline %s",
+			current.Quick, baseline.Quick, baseline.Rev))
+	}
+	for _, cur := range current.Scenarios {
+		base := baseline.Scenario(cur.Name)
+		if base == nil || base.Records == 0 || cur.Records == 0 {
+			continue
+		}
+		if base.AllocsPerRecord <= 0 {
+			continue
+		}
+		ratio := cur.AllocsPerRecord / base.AllocsPerRecord
+		if ratio > maxAllocsRatio {
+			violations = append(violations, fmt.Sprintf(
+				"%s: %.2f allocs/record vs baseline %.2f (%.2fx > %.2fx limit, baseline %s)",
+				cur.Name, cur.AllocsPerRecord, base.AllocsPerRecord, ratio,
+				maxAllocsRatio, baseline.Rev))
+		} else {
+			notes = append(notes, fmt.Sprintf("%s: %.2fx baseline allocs/record",
+				cur.Name, ratio))
+		}
+	}
+	return violations, notes
+}
+
+// peakRSS reads the process high-water RSS (VmHWM) from /proc/self/status;
+// 0 on platforms without procfs.
+func peakRSS() int64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb << 10
+	}
+	return 0
+}

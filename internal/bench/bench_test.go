@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunSerializeScenarios runs the two serialization scenarios at quick
+// scale: the harness must produce populated, internally consistent
+// measurements.
+func TestRunSerializeScenarios(t *testing.T) {
+	rep := Run(Options{
+		Quick:  true,
+		Rev:    "test",
+		Filter: func(name string) bool { return strings.HasPrefix(name, "serialize/") },
+	})
+	if len(rep.Scenarios) != 2 {
+		t.Fatalf("got %d scenarios, want 2", len(rep.Scenarios))
+	}
+	for _, s := range rep.Scenarios {
+		if s.Records == 0 || s.Seconds <= 0 || s.RecordsPerSec <= 0 {
+			t.Fatalf("unpopulated scenario %+v", s)
+		}
+		if s.Bytes == 0 || s.MBPerSec <= 0 {
+			t.Fatalf("serializer scenario without byte accounting: %+v", s)
+		}
+	}
+	csv, bin := rep.Scenario("serialize/csv"), rep.Scenario("serialize/binary")
+	if csv == nil || bin == nil {
+		t.Fatal("scenario lookup failed")
+	}
+	// The binary format's core size claim, pinned at harness level.
+	if ratio := float64(csv.Bytes) / float64(bin.Bytes); ratio < 3 {
+		t.Fatalf("binary output only %.2fx smaller than CSV, want >= 3x", ratio)
+	}
+}
+
+func TestSaveLoadCompareFindLatest(t *testing.T) {
+	dir := t.TempDir()
+	base := &Report{
+		Schema: Schema, Rev: "old", RecordedAtUnix: 100, Quick: false,
+		Scenarios: []ScenarioResult{
+			{Name: "fleet/home1-8shard", Records: 1000, AllocsPerRecord: 3.0},
+		},
+	}
+	quickRef := &Report{
+		Schema: Schema, Rev: "old-quick", RecordedAtUnix: 50, Quick: true,
+		Scenarios: []ScenarioResult{
+			{Name: "fleet/home1-8shard", Records: 100, AllocsPerRecord: 3.5},
+		},
+	}
+	for _, r := range []*Report{base, quickRef} {
+		if err := r.Save(filepath.Join(dir, FileName(r.Rev))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Corrupt files are skipped, not fatal.
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_garbage.json"), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := Load(filepath.Join(dir, FileName("old")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rev != "old" || got.Scenarios[0].AllocsPerRecord != 3.0 {
+		t.Fatalf("round trip mangled report: %+v", got)
+	}
+
+	// FindLatest prefers the matching-scale report even when an
+	// other-scale one is newer.
+	if p, _ := FindLatest(dir, true); filepath.Base(p) != FileName("old-quick") {
+		t.Fatalf("quick lookup returned %s", p)
+	}
+	if p, _ := FindLatest(dir, false); filepath.Base(p) != FileName("old") {
+		t.Fatalf("full lookup returned %s", p)
+	}
+
+	cur := &Report{
+		Schema: Schema, Rev: "new", Quick: false,
+		Scenarios: []ScenarioResult{
+			{Name: "fleet/home1-8shard", Records: 1000, AllocsPerRecord: 6.5},
+			{Name: "not/in-baseline", Records: 10, AllocsPerRecord: 99},
+		},
+	}
+	violations, _ := Compare(cur, base, 2.0)
+	if len(violations) != 1 || !strings.Contains(violations[0], "fleet/home1-8shard") {
+		t.Fatalf("want one fleet violation, got %v", violations)
+	}
+	if violations, _ := Compare(cur, base, 3.0); len(violations) != 0 {
+		t.Fatalf("6.5 allocs vs 3.0 baseline should pass a 3x gate, got %v", violations)
+	}
+}

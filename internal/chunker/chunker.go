@@ -147,6 +147,27 @@ func (f SyntheticFile) RefsLimit(limit int) []Ref {
 	return out
 }
 
+// ChunkSpanLimit returns the chunk layout of a file of the given byte size
+// at a chunk size limit without materializing refs or hashes: n chunks, of
+// which the first n-1 are exactly limit bytes and the last is last bytes.
+// This is the flow-level fast path's view of RefsLimit — chunk sizes only,
+// no SHA-256 — and it matches RefsLimit chunk for chunk (pinned by
+// TestChunkSpanMatchesRefsLimit). limit <= 0 falls back to MaxChunkSize.
+func ChunkSpanLimit(size int64, limit int) (n, last int) {
+	if size <= 0 {
+		return 0, 0
+	}
+	if limit <= 0 {
+		limit = MaxChunkSize
+	}
+	n = int((size + int64(limit) - 1) / int64(limit))
+	last = limit
+	if rem := int(size % int64(limit)); rem != 0 {
+		last = rem
+	}
+	return n, last
+}
+
 // WireSize returns the compressed transfer size of a chunk of the file.
 func (f SyntheticFile) WireSize(chunkSize int) int {
 	r := f.CompressRatio

@@ -192,3 +192,34 @@ func BenchmarkSyntheticRefs(b *testing.B) {
 		_ = f.Refs()
 	}
 }
+
+// TestChunkSpanMatchesRefsLimit pins the allocation-free chunk layout to
+// the ref-materializing implementation, size for size.
+func TestChunkSpanMatchesRefsLimit(t *testing.T) {
+	sizes := []int64{0, 1, 100, MaxChunkSize - 1, MaxChunkSize, MaxChunkSize + 1,
+		3 * MaxChunkSize, 3*MaxChunkSize + 7, 2e9}
+	limits := []int{0, 1 << 10, MaxChunkSize, 16 << 20}
+	for _, size := range sizes {
+		for _, limit := range limits {
+			refs := (SyntheticFile{Seed: 1, Size: size}).RefsLimit(limit)
+			n, last := ChunkSpanLimit(size, limit)
+			if n != len(refs) {
+				t.Fatalf("size %d limit %d: n=%d, refs=%d", size, limit, n, len(refs))
+			}
+			eff := limit
+			if eff <= 0 {
+				eff = MaxChunkSize
+			}
+			for i, r := range refs {
+				want := eff
+				if i == n-1 {
+					want = last
+				}
+				if r.Size != want {
+					t.Fatalf("size %d limit %d chunk %d: span size %d, ref size %d",
+						size, limit, i, want, r.Size)
+				}
+			}
+		}
+	}
+}

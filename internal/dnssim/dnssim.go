@@ -65,7 +65,16 @@ func Classify(fqdn string) Service {
 	if !ok {
 		return SvcUnknown
 	}
-	base := strings.TrimRight(name, "0123456789")
+	// Strip the instance number by hand: this runs once or twice per
+	// record on the aggregation hot path, where strings.TrimRight's
+	// per-call ASCII-set build is measurable.
+	base := name
+	for len(base) > 0 {
+		if c := base[len(base)-1]; c < '0' || c > '9' {
+			break
+		}
+		base = base[:len(base)-1]
+	}
 	switch base {
 	case "client-lb", "client":
 		return SvcClientControl

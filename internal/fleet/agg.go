@@ -20,15 +20,37 @@ type Aggregator interface {
 }
 
 // Aggregate runs a fleet generation feeding one aggregator per shard and
-// returns the shard-ordered merge. This is the bounded-memory path: no
-// record outlives its Consume call unless the aggregator keeps it.
+// returns the shard-ordered merge. This is the bounded-memory,
+// allocation-free path: each shard draws its records from a per-shard
+// RecordPool and recycles them the moment Consume returns, so aggregators
+// MUST NOT retain a record (or its NotifyNamespaces slice) past Consume —
+// copy what you keep. Record contents and aggregates are bit-identical to
+// the unpooled path (pinned by TestPooledShardMatchesUnpooled).
 func Aggregate(vp workload.VPConfig, seed int64, fc Config, newAgg func(shard int) Aggregator) (Aggregator, VPStats) {
-	stats, sinks := RunVP(vp, seed, fc, func(sh int) Sink { return newAgg(sh) })
-	root := sinks[0].(Aggregator)
-	for _, s := range sinks[1:] {
-		root.Merge(s.(Aggregator))
+	fc = fc.normalized()
+	vp = fc.apply(vp)
+
+	aggs := make([]Aggregator, fc.Shards)
+	for i := range aggs {
+		aggs[i] = newAgg(i)
 	}
-	return root, stats
+	stats := runShards(fc, func(sh int) workload.ShardStats {
+		agg := aggs[sh]
+		pool := new(RecordPool)
+		return workload.GenerateShardSink(vp, seed, sh, fc.Shards, workload.ShardSink{
+			Emit: func(r *traces.FlowRecord) {
+				agg.Consume(r)
+				pool.Put(r)
+			},
+			Alloc: pool.Get,
+			Free:  pool.Put,
+		})
+	})
+	root := aggs[0]
+	for _, a := range aggs[1:] {
+		root.Merge(a)
+	}
+	return root, mergeStats(vp, fc, stats)
 }
 
 // ---------- online histogram / quantile summary ----------
@@ -167,6 +189,14 @@ type Summary struct {
 	Devices    map[uint64]struct{}
 	Namespaces map[uint32]struct{}
 	Households map[wire.IP]struct{}
+
+	// lastNotifyHost/-Client memoize the previous notify record's device:
+	// notify flows arrive in per-device bursts (NAT-chopped sessions emit
+	// thousands back to back), and a device's namespace list is constant,
+	// so repeat records skip the map inserts entirely. Pure memoization —
+	// the resulting sets are identical.
+	lastNotifyHost   uint64
+	lastNotifyClient wire.IP
 }
 
 // NewSummary builds a Summary for a campaign of the given length.
@@ -240,6 +270,10 @@ func (s *Summary) ConsumeClassified(r *traces.FlowRecord, c Classification) {
 	s.DropboxFlows++
 	if c.Notify {
 		s.NotifyFlows++
+		if r.NotifyHost == s.lastNotifyHost && r.Client == s.lastNotifyClient {
+			return
+		}
+		s.lastNotifyHost, s.lastNotifyClient = r.NotifyHost, r.Client
 		s.Households[r.Client] = struct{}{}
 		s.Devices[r.NotifyHost] = struct{}{}
 		for _, ns := range r.NotifyNamespaces {

@@ -21,6 +21,16 @@
 // On the streaming path (Aggregate, StreamOrdered) memory stays bounded
 // regardless of population size: records are consumed as they are
 // generated and never accumulated.
+//
+// The aggregation path is also allocation-free per record: each shard
+// draws its FlowRecords from a per-shard RecordPool and recycles them the
+// moment the aggregator's Consume returns. Pooling is invisible in the
+// results — pooled and unpooled generation emit bit-identical records —
+// but it imposes an ownership rule on aggregators: never retain a record
+// (or its NotifyNamespaces slice) past Consume; copy what you keep. The
+// rules are spelled out on RecordPool, and PERFORMANCE.md tracks the
+// throughput this buys (2.2x records/sec, 12.5x fewer allocs/record on
+// the 8-shard campaign scenario).
 package fleet
 
 import (
@@ -84,8 +94,49 @@ func (c Config) apply(vp workload.VPConfig) workload.VPConfig {
 // Sink consumes one shard's record stream. The engine builds one sink per
 // shard and never shares one across goroutines, so implementations need no
 // locking.
+//
+// Ownership: on the RunVP path records belong to the sink once Consume is
+// called (RecordBuffer keeps them). On the pooled Aggregate path records
+// are recycled the moment Consume returns — see RecordPool for the rules.
 type Sink interface {
 	Consume(*traces.FlowRecord)
+}
+
+// RecordPool recycles FlowRecord storage within one generating shard. It
+// is not safe for concurrent use: the engine gives each shard its own
+// pool, and the generator's Alloc/Free calls plus the sink's Consume all
+// run on that shard's worker goroutine.
+//
+// Ownership rules for pooled streams:
+//
+//   - a record obtained from Get is zero-valued and owned by the caller
+//     until Put;
+//   - Put zeroes the record, so the next Get needs no reset — and any
+//     pointer kept past Put observes the record's next life. Consumers
+//     on a pooled path must copy whatever they keep (scalar fields are
+//     copies already; NotifyNamespaces must be copied element-wise, and
+//     string fields are immutable so retaining them is safe);
+//   - the record's NotifyNamespaces backing array is never owned by the
+//     pool: generators point it at device-owned namespace lists, and
+//     zeroing only drops the reference.
+type RecordPool struct {
+	free []*traces.FlowRecord
+}
+
+// Get returns a zero-valued record.
+func (p *RecordPool) Get() *traces.FlowRecord {
+	if n := len(p.free); n > 0 {
+		r := p.free[n-1]
+		p.free = p.free[:n-1]
+		return r
+	}
+	return new(traces.FlowRecord)
+}
+
+// Put zeroes r and makes it available to the next Get.
+func (p *RecordPool) Put(r *traces.FlowRecord) {
+	*r = traces.FlowRecord{}
+	p.free = append(p.free, r)
 }
 
 // VPStats is the merged ground truth of one vantage point's fleet run.
@@ -116,8 +167,17 @@ func RunVP(vp workload.VPConfig, seed int64, fc Config, newSink func(shard int) 
 	for i := range sinks {
 		sinks[i] = newSink(i)
 	}
-	stats := make([]workload.ShardStats, fc.Shards)
+	stats := runShards(fc, func(sh int) workload.ShardStats {
+		return workload.GenerateShard(vp, seed, sh, fc.Shards, sinks[sh].Consume)
+	})
+	return mergeStats(vp, fc, stats), sinks
+}
 
+// runShards executes runShard for every shard index on a pool of
+// fc.Workers goroutines (fc must already be normalized) and returns the
+// per-shard stats in shard order.
+func runShards(fc Config, runShard func(sh int) workload.ShardStats) []workload.ShardStats {
+	stats := make([]workload.ShardStats, fc.Shards)
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < fc.Workers; w++ {
@@ -125,7 +185,7 @@ func RunVP(vp workload.VPConfig, seed int64, fc Config, newSink func(shard int) 
 		go func() {
 			defer wg.Done()
 			for sh := range jobs {
-				stats[sh] = workload.GenerateShard(vp, seed, sh, fc.Shards, sinks[sh].Consume)
+				stats[sh] = runShard(sh)
 			}
 		}()
 	}
@@ -134,8 +194,7 @@ func RunVP(vp workload.VPConfig, seed int64, fc Config, newSink func(shard int) 
 	}
 	close(jobs)
 	wg.Wait()
-
-	return mergeStats(vp, fc, stats), sinks
+	return stats
 }
 
 // mergeStats folds per-shard stats in shard-index order.

@@ -326,3 +326,34 @@ func BenchmarkShardedGeneration(b *testing.B) {
 		}
 	}
 }
+
+// TestPooledAggregateMatchesUnpooled pins the pooled Aggregate path
+// (per-shard RecordPools, records recycled after Consume) against a
+// reference built from the plain GenerateShard stream with no pooling:
+// every metric, including order-sensitive float accumulators, must match
+// exactly.
+func TestPooledAggregateMatchesUnpooled(t *testing.T) {
+	cfg := workload.Home1(0.05)
+	const seed, shards = 7, 4
+
+	got, stats := Summarize(cfg, seed, Config{Shards: shards, Workers: 2})
+	if stats.Records == 0 {
+		t.Fatal("no records generated")
+	}
+
+	var want *Summary
+	for sh := 0; sh < shards; sh++ {
+		s := NewSummary(cfg.Days)
+		workload.GenerateShard(cfg, seed, sh, shards, s.Consume)
+		if want == nil {
+			want = s
+		} else {
+			want.Merge(s)
+		}
+	}
+
+	gm, wm := got.Metrics(), want.Metrics()
+	if !reflect.DeepEqual(gm, wm) {
+		t.Fatalf("pooled aggregate metrics diverge:\n got %v\nwant %v", gm, wm)
+	}
+}

@@ -122,34 +122,34 @@ type op struct {
 	wire int // payload bytes of the operation's data message (sum of chunks)
 }
 
-func groupOps(prof capability.Profile, chunks []int) []op {
+// groupOpsInto appends the operation grouping of chunks to dst (usually a
+// reused scratch slice) and returns it.
+func groupOpsInto(dst []op, prof capability.Profile, chunks []int) []op {
 	if !prof.Bundling {
-		ops := make([]op, len(chunks))
-		for i, c := range chunks {
-			ops[i] = op{wire: c}
+		for _, c := range chunks {
+			dst = append(dst, op{wire: c})
 		}
-		return ops
+		return dst
 	}
 	target := prof.BundleTarget()
-	var ops []op
 	cur := op{}
 	n := 0
 	for _, c := range chunks {
 		if n > 0 && cur.wire+c > target {
-			ops = append(ops, cur)
+			dst = append(dst, cur)
 			cur, n = op{}, 0
 		}
 		cur.wire += c
 		n++
 		if c >= target/4 {
-			ops = append(ops, cur)
+			dst = append(dst, cur)
 			cur, n = op{}, 0
 		}
 	}
 	if n > 0 {
-		ops = append(ops, cur)
+		dst = append(dst, cur)
 	}
-	return ops
+	return dst
 }
 
 // cwndModel tracks analytic slow-start growth across a flow.
@@ -188,21 +188,38 @@ func (c *cwndModel) transfer(n int64, rtt time.Duration, bw float64) time.Durati
 	return t
 }
 
+// Synth carries the reusable scratch state of one synthesizing goroutine
+// (the operation-grouping buffer). The zero value is ready to use; a Synth
+// must not be shared across goroutines. Population-scale generators hold
+// one per shard so per-flow synthesis allocates nothing but the record —
+// and not even that when the caller supplies pooled records to
+// SynthesizeInto.
+type Synth struct {
+	ops []op
+}
+
 // Synthesize produces the flow record the probe would emit for the spec.
 // Byte counts follow the protocol constants exactly; durations follow the
 // slow-start model plus per-operation reaction times and the sequential
 // acknowledgment round trips.
 func Synthesize(rng *simrand.Source, p Params, spec StorageFlowSpec) *traces.FlowRecord {
+	var s Synth
+	return s.SynthesizeInto(new(traces.FlowRecord), rng, p, spec)
+}
+
+// SynthesizeInto is Synthesize writing into caller-supplied storage: rec
+// must be zero-valued (freshly allocated or reset by a record pool) and is
+// returned filled. Nothing in rec is retained by the Synth.
+func (s *Synth) SynthesizeInto(rec *traces.FlowRecord, rng *simrand.Source, p Params, spec StorageFlowSpec) *traces.FlowRecord {
 	prof := p.profile()
-	ops := groupOps(prof, spec.ChunkWires)
+	ops := groupOpsInto(s.ops[:0], prof, spec.ChunkWires)
+	s.ops = ops
 	hs := tlssim.DefaultHandshake()
-	rec := &traces.FlowRecord{
-		FirstPacket: spec.Start,
-		SawSYN:      true,
-		SNI:         "dl-client0.dropbox.com",
-		CertName:    "*.dropbox.com",
-		ServerPort:  443,
-	}
+	rec.FirstPacket = spec.Start
+	rec.SawSYN = true
+	rec.SNI = "dl-client0.dropbox.com"
+	rec.CertName = "*.dropbox.com"
+	rec.ServerPort = 443
 
 	// --- byte accounting (exact) ---
 	up := int64(hs.ClientBytes())

@@ -63,7 +63,7 @@ func TestThetaShape(t *testing.T) {
 }
 
 func TestGroupOpsV1252OnePerChunk(t *testing.T) {
-	ops := groupOps(dropbox.V1252.Profile(), []int{100, 200, 300})
+	ops := groupOpsInto(nil, dropbox.V1252.Profile(), []int{100, 200, 300})
 	if len(ops) != 3 {
 		t.Fatalf("ops = %d", len(ops))
 	}
@@ -74,12 +74,12 @@ func TestGroupOpsV140Bundles(t *testing.T) {
 	for i := range chunks {
 		chunks[i] = 50_000
 	}
-	ops := groupOps(dropbox.V140.Profile(), chunks)
+	ops := groupOpsInto(nil, dropbox.V140.Profile(), chunks)
 	if len(ops) != 1 {
 		t.Fatalf("40 small chunks should bundle into 1 op, got %d", len(ops))
 	}
 	// Large chunks break bundles.
-	ops = groupOps(dropbox.V140.Profile(), []int{4 << 20, 4 << 20})
+	ops = groupOpsInto(nil, dropbox.V140.Profile(), []int{4 << 20, 4 << 20})
 	if len(ops) != 2 {
 		t.Fatalf("two 4MB chunks = %d ops", len(ops))
 	}

@@ -1,8 +1,8 @@
 package workload
 
 import (
-	"fmt"
 	"sort"
+	"strconv"
 	"time"
 
 	"insidedropbox/internal/capability"
@@ -14,6 +14,27 @@ import (
 	"insidedropbox/internal/tlssim"
 	"insidedropbox/internal/traces"
 	"insidedropbox/internal/wire"
+)
+
+// Interned hostname tables: the record hot path stamps one of ~520 storage
+// SNIs and 20 notify FQDNs onto nearly every flow, so formatting them per
+// record (the old fmt.Sprintf path) dominated the allocation profile.
+// They are built once at package init and shared by all shards.
+var (
+	storageSNIs = func() [520]string {
+		var s [520]string
+		for i := range s {
+			s[i] = "dl-client" + strconv.Itoa(i+1) + ".dropbox.com"
+		}
+		return s
+	}()
+	notifyFQDNs = func() [20]string {
+		var s [20]string
+		for i := range s {
+			s[i] = "notify" + strconv.Itoa(i+1) + ".dropbox.com"
+		}
+		return s
+	}()
 )
 
 // Dataset is the flow-level outcome of one vantage point campaign: the
@@ -62,6 +83,10 @@ type device struct {
 	natChopped bool
 	sessions   []session
 	access     AccessKind
+	// events accumulates the device's pending synchronization events while
+	// a household is generated, then is sorted and drained in time order
+	// (the former map[*device][]syncEvent, flattened onto the device).
+	events []syncEvent
 }
 
 // household is one subscriber line.
@@ -78,15 +103,32 @@ type generator struct {
 	caps    capability.Profile // resolved client capability profile
 	rng     *simrand.Source
 	emit    func(*traces.FlowRecord)
+	alloc   func() *traces.FlowRecord
+	free    func(*traces.FlowRecord)
 	stats   ShardStats
-	outage  map[int]bool
+	outage  []bool // per-day probe outage, nil when none configured
 	horizon time.Duration
 
 	nextHost uint64
 	nextNS   uint32
 
 	storagePool int // number of storage server IPs
+
+	// Per-shard scratch reused across flows (never escapes a call).
+	synth flowmodel.Synth
+	wires []int
+
+	// filesArena is a rolling slab backing the per-event changed-file
+	// lists: lists are carved off sequentially and the slab is replaced —
+	// never rewound — when full, so live lists are never reused and dead
+	// ones are reclaimed with their slab (see allocFiles).
+	filesArena []int64
+	filesOff   int
 }
+
+// newRecord returns a zero-valued record from the sink's allocator (a
+// fresh allocation when the sink supplies none).
+func (g *generator) newRecord() *traces.FlowRecord { return g.alloc() }
 
 // ShardStats is the non-record outcome of one shard's generation: the ground
 // truth counters plus (on shard 0 only) the population-level background
@@ -123,7 +165,10 @@ func ShardSeed(seed int64, shard int) int64 {
 	if shard == 0 {
 		return seed
 	}
-	return simrand.DeriveSeed(seed, fmt.Sprintf("workload/shard/%d", shard))
+	var buf [32]byte
+	label := append(buf[:0], "workload/shard/"...)
+	label = strconv.AppendInt(label, int64(shard), 10)
+	return simrand.DeriveSeed(seed, string(label))
 }
 
 // ShardRange returns the half-open subscriber-index range [lo,hi) owned by
@@ -175,6 +220,22 @@ func SortRecords(rs []*traces.FlowRecord) {
 	sort.Slice(rs, func(i, j int) bool { return rs[i].FirstPacket < rs[j].FirstPacket })
 }
 
+// ShardSink is where one generating shard delivers its records. Emit is
+// required. Alloc and Free are optional record-storage hooks for pooled
+// generation: when set, every record the shard produces comes from Alloc
+// (which must return zero-valued records), and records that die without
+// being emitted — probe-outage drops and flow-fold scratch — go back
+// through Free. A sink that recycles emitted records after Emit returns
+// (fleet.Aggregate does) makes shard generation allocation-free per
+// record; sinks that retain emitted records must leave Alloc nil or never
+// recycle them. Emit, Alloc and Free are always called from the same
+// goroutine, in generation order.
+type ShardSink struct {
+	Emit  func(*traces.FlowRecord)
+	Alloc func() *traces.FlowRecord
+	Free  func(*traces.FlowRecord)
+}
+
 // GenerateShard generates one shard of a vantage point population,
 // streaming records through emit in generation order (no global sort, no
 // accumulation). The population is partitioned by ShardRange; each shard
@@ -184,28 +245,56 @@ func SortRecords(rs []*traces.FlowRecord) {
 // time, which keeps the surviving stream identical to the legacy
 // generate-then-filter order.
 func GenerateShard(cfg VPConfig, seed int64, shard, nshards int, emit func(*traces.FlowRecord)) ShardStats {
+	return GenerateShardSink(cfg, seed, shard, nshards, ShardSink{Emit: emit})
+}
+
+// GenerateShardSink is GenerateShard with record-storage hooks; records
+// and stats are bit-identical whether or not the hooks are set (pinned by
+// TestPooledShardMatchesUnpooled).
+func GenerateShardSink(cfg VPConfig, seed int64, shard, nshards int, sink ShardSink) ShardStats {
 	if nshards < 1 {
 		nshards = 1
 	}
 	if nshards > MaxShards {
-		panic(fmt.Sprintf("workload: %d shards exceeds MaxShards (%d)", nshards, MaxShards))
+		panic("workload: " + strconv.Itoa(nshards) + " shards exceeds MaxShards (" + strconv.Itoa(MaxShards) + ")")
 	}
 	if shard < 0 || shard >= nshards {
-		panic(fmt.Sprintf("workload: shard %d out of range [0,%d)", shard, nshards))
+		panic("workload: shard " + strconv.Itoa(shard) + " out of range [0," + strconv.Itoa(nshards) + ")")
 	}
+	var label []byte
+	label = append(label, "workload/"...)
+	label = append(label, cfg.Name...)
+	label = append(label, '/')
+	label = strconv.AppendInt(label, int64(shard), 10)
+	label = append(label, '.')
+	label = strconv.AppendInt(label, int64(nshards), 10)
 	g := &generator{
 		cfg:         cfg,
 		caps:        EffectiveCaps(cfg),
-		rng:         simrand.New(ShardSeed(seed, shard), fmt.Sprintf("workload/%s/%d.%d", cfg.Name, shard, nshards)),
-		emit:        emit,
+		rng:         simrand.New(ShardSeed(seed, shard), string(label)),
+		emit:        sink.Emit,
+		alloc:       sink.Alloc,
+		free:        sink.Free,
 		horizon:     time.Duration(cfg.Days) * 24 * time.Hour,
 		nextHost:    1 + uint64(shard)*hostStride,
 		nextNS:      1 + uint32(shard)*nsStride,
 		storagePool: 640,
 	}
+	if g.alloc == nil {
+		g.alloc = func() *traces.FlowRecord { return new(traces.FlowRecord) }
+	}
+	if g.free == nil {
+		g.free = func(*traces.FlowRecord) {}
+	}
 	g.stats.Shard = shard
 	if len(cfg.OutageDays) > 0 {
-		g.outage = make(map[int]bool, len(cfg.OutageDays))
+		days := cfg.Days
+		for _, d := range cfg.OutageDays {
+			if d >= days {
+				days = d + 1
+			}
+		}
+		g.outage = make([]bool, days)
 		for _, d := range cfg.OutageDays {
 			g.outage[d] = true
 		}
@@ -242,12 +331,19 @@ func SubscriberIP(ipBase, i int) wire.IP {
 	return wire.MakeIP(10, byte((ipBase+block)%256), byte(rem/250), byte(rem%250))
 }
 
+// isOutage reports whether a campaign day is a probe outage.
+func (g *generator) isOutage(day int) bool {
+	return day >= 0 && day < len(g.outage) && g.outage[day]
+}
+
 // record streams one finished flow record out of the shard, dropping
 // probe-outage days (the streaming equivalent of the legacy applyOutages
 // pass: the filter is per-record, so filtering at emit time preserves both
-// the surviving set and its order).
+// the surviving set and its order). Dropped records go back to the sink's
+// Free hook — they were never emitted.
 func (g *generator) record(r *traces.FlowRecord) {
-	if g.outage != nil && g.outage[int(r.FirstPacket/(24*time.Hour))] {
+	if g.isOutage(int(r.FirstPacket / (24 * time.Hour))) {
+		g.free(r)
 		return
 	}
 	g.stats.Records++
@@ -269,7 +365,7 @@ func (g *generator) background() {
 		factor := [7]float64(g.cfg.Week)[day] * g.cfg.Holidays.At(t)
 		vol := g.cfg.DailyBackgroundGB * 1e9 * scale * factor * g.rng.Uniform(0.92, 1.08)
 		yt := vol * g.cfg.YouTubeShare * g.rng.Uniform(0.85, 1.15)
-		if g.outage[d] {
+		if g.isOutage(d) {
 			// Probe outage: the day records no volume at all.
 			vol, yt = 0, 0
 		}
@@ -504,19 +600,23 @@ func (g *generator) dropboxTraffic(hh *household) {
 	// start-up syncs, cross-device propagation), then synthesize flows in
 	// time order so consecutive batches can reuse storage connections
 	// within the 60 s idle window — the flow-inflating behaviour the paper
-	// observes in Sec. 4.4.2.
-	events := make(map[*device][]syncEvent)
+	// observes in Sec. 4.4.2. Events accumulate on the devices themselves
+	// (sorted slices, not a per-household map): append order is identical
+	// to the former map-of-slices build, so the sorted drain order — and
+	// with it the record stream — is unchanged.
 	for _, dev := range hh.devices {
 		for _, s := range dev.sessions {
 			g.notifyFlows(hh, dev, s)
 			g.controlFlow(hh, s.start, 3, 2) // register + first list
 			g.systemLogFlow(hh, s.start)
-			g.sessionEvents(hh, dev, s, events)
+			g.sessionEvents(hh, dev, s)
 		}
 	}
 	for _, dev := range hh.devices {
-		evs := events[dev]
-		sort.Slice(evs, func(i, j int) bool { return evs[i].at < evs[j].at })
+		evs := dev.events
+		// sort.Sort over the typed slice runs the same pdqsort as
+		// sort.Slice — identical permutation, no reflection-based swapper.
+		sort.Sort(eventsByTime(evs))
 		var mergers [2]*mergeState // store, retrieve
 		for _, ev := range evs {
 			g.storageFlows(hh, dev, ev.at, ev.dir, ev.files, &mergers)
@@ -546,21 +646,48 @@ type syncEvent struct {
 	files []int64
 }
 
+// eventsByTime orders sync events by instant.
+type eventsByTime []syncEvent
+
+func (e eventsByTime) Len() int           { return len(e) }
+func (e eventsByTime) Less(i, j int) bool { return e[i].at < e[j].at }
+func (e eventsByTime) Swap(i, j int)      { e[i], e[j] = e[j], e[i] }
+
+// filesArenaSize sizes the changed-file slab: ~1700 average events per
+// slab allocation.
+const filesArenaSize = 4096
+
+// allocFiles carves an n-element list from the rolling slab (capacity
+// capped so appends can never bleed into a neighbouring list); outsized
+// requests get their own allocation.
+func (g *generator) allocFiles(n int) []int64 {
+	if g.filesOff+n > len(g.filesArena) {
+		if n > filesArenaSize/4 {
+			return make([]int64, n)
+		}
+		g.filesArena = make([]int64, filesArenaSize)
+		g.filesOff = 0
+	}
+	out := g.filesArena[g.filesOff : g.filesOff+n : g.filesOff+n]
+	g.filesOff += n
+	return out
+}
+
 // eventFiles draws the changed-file set of one synchronization event: one
 // or a few files, mostly small deltas (the paper's median store flow is
 // ~16 kB and >40% of flows carry 2+ chunks).
 func (g *generator) eventFiles() []int64 {
 	n := 1 + g.rng.Poisson(1.4)
-	out := make([]int64, n)
+	out := g.allocFiles(n)
 	for i := range out {
 		out[i] = g.fileSize()
 	}
 	return out
 }
 
-// sessionEvents generates the synchronization events of one session into
-// the per-device event map.
-func (g *generator) sessionEvents(hh *household, dev *device, s session, events map[*device][]syncEvent) {
+// sessionEvents generates the synchronization events of one session onto
+// the devices' event slices.
+func (g *generator) sessionEvents(hh *household, dev *device, s session) {
 	hours := (s.end - s.start).Hours()
 	if hours <= 0 {
 		return
@@ -575,14 +702,14 @@ func (g *generator) sessionEvents(hh *household, dev *device, s session, events 
 			for i := 0; i < 1+g.rng.Poisson(1.6); i++ {
 				files = append(files, g.eventFiles()...)
 			}
-			events[dev] = append(events[dev], syncEvent{s.start + g.startupDelay(), classify.DirRetrieve, files})
+			dev.events = append(dev.events, syncEvent{s.start + g.startupDelay(), classify.DirRetrieve, files})
 		}
 	}
 	nUp := g.rng.Poisson(upRate * hours)
 	for i := 0; i < nUp; i++ {
 		at := s.start + time.Duration(g.rng.Float64()*float64(s.end-s.start))
 		files := g.eventFiles()
-		events[dev] = append(events[dev], syncEvent{at, classify.DirStore, files})
+		dev.events = append(dev.events, syncEvent{at, classify.DirStore, files})
 		// Cross-device sync: other online devices of the household pull
 		// the content from the cloud (unless LAN sync takes it).
 		for _, peer := range hh.devices {
@@ -593,13 +720,13 @@ func (g *generator) sessionEvents(hh *household, dev *device, s session, events 
 				continue
 			}
 			delay := time.Duration(g.rng.Uniform(5, 90) * float64(time.Second))
-			events[peer] = append(events[peer], syncEvent{at + delay, classify.DirRetrieve, files})
+			peer.events = append(peer.events, syncEvent{at + delay, classify.DirRetrieve, files})
 		}
 	}
 	nDown := g.rng.Poisson(downRate * hours)
 	for i := 0; i < nDown; i++ {
 		at := s.start + time.Duration(g.rng.Float64()*float64(s.end-s.start))
-		events[dev] = append(events[dev], syncEvent{at, classify.DirRetrieve, g.eventFiles()})
+		dev.events = append(dev.events, syncEvent{at, classify.DirRetrieve, g.eventFiles()})
 	}
 }
 
@@ -710,7 +837,7 @@ func (g *generator) storageFlows(hh *household, dev *device, at time.Duration,
 	// store events alone — matching the packet-level client, whose Dedup
 	// branch sits in the upload path.
 	dedupOff := !g.caps.Dedup && dir == classify.DirStore
-	var wires []int
+	wires := g.wires[:0]
 	for _, size := range files {
 		// The compression ratio is always drawn, so profiles that disable
 		// compression keep the random stream aligned with the presets.
@@ -718,8 +845,17 @@ func (g *generator) storageFlows(hh *household, dev *device, at time.Duration,
 		if !g.caps.Compression {
 			ratio = 1.0
 		}
-		for _, r := range (chunker.SyntheticFile{Seed: g.rng.Uint64(), Size: size}).RefsLimit(chunkLimit) {
-			w := int(float64(r.Size) * ratio)
+		// The flow path needs chunk sizes only; the content-identity seed
+		// is still drawn so the random stream stays aligned with the
+		// ref-materializing path the packet-level client uses.
+		_ = g.rng.Uint64()
+		nChunks, lastSize := chunker.ChunkSpanLimit(size, chunkLimit)
+		for ci := 0; ci < nChunks; ci++ {
+			cs := chunkLimit
+			if ci == nChunks-1 {
+				cs = lastSize
+			}
+			w := int(float64(cs) * ratio)
 			if w < 1 {
 				w = 1
 			}
@@ -732,6 +868,7 @@ func (g *generator) storageFlows(hh *household, dev *device, at time.Duration,
 			}
 		}
 	}
+	g.wires = wires // keep the grown scratch for the next event
 	slot := 0
 	if dir == classify.DirRetrieve {
 		slot = 1
@@ -748,6 +885,7 @@ func (g *generator) storageFlows(hh *household, dev *device, at time.Duration,
 			if src != nil {
 				foldFlow(m.rec, src)
 				m.end = src.FirstPacket + classify.TransferDuration(src, dir)
+				g.free(src) // fold scratch: never emitted
 			}
 		} else {
 			g.closeMerger(m)
@@ -817,7 +955,7 @@ func (g *generator) synthStorage(dev *device, at time.Duration, dir classify.Dir
 		return nil
 	}
 	p := g.params(dev.access, dir)
-	return flowmodel.Synthesize(g.rng, p, flowmodel.StorageFlowSpec{
+	return g.synth.SynthesizeInto(g.newRecord(), g.rng, p, flowmodel.StorageFlowSpec{
 		Dir: dir, ChunkWires: wires, Start: at,
 		ServerClosesIdle: serverCloses,
 	})
@@ -828,7 +966,7 @@ func (g *generator) synthStorage(dev *device, at time.Duration, dir classify.Dir
 func (g *generator) stampStorage(hh *household, rec *traces.FlowRecord) {
 	server := g.rng.Intn(g.storagePool)
 	g.stamp(rec, hh.ip, storageServerIP(server), 443)
-	rec.SNI = fmt.Sprintf("dl-client%d.dropbox.com", server%520+1)
+	rec.SNI = storageSNIs[server%len(storageSNIs)]
 	if g.cfg.HasDNS {
 		rec.FQDN = rec.SNI
 	} else {
@@ -879,19 +1017,18 @@ func (g *generator) controlFlow(hh *household, at time.Duration, reqs, extra int
 		down += int64(tlssim.MessageWireSize(150 + g.rng.Intn(900)))
 	}
 	dur := time.Duration(2+reqs) * rtt
-	rec := &traces.FlowRecord{
-		FirstPacket: at, LastPacket: at + dur,
-		LastPayloadUp: at + dur - rtt/2, LastPayloadDown: at + dur,
-		BytesUp: up, BytesDown: down,
-		PktsUp: int(up/wire.MSS) + reqs + 2, PktsDown: int(down/wire.MSS) + reqs + 2,
-		PSHUp: 2 + reqs, PSHDown: 2 + reqs,
-		// Meta-data exchanges span several segments each way; the probe
-		// collects a sample per acknowledged segment, comfortably past the
-		// >=10 filter of Fig. 6 on multi-request connections.
-		MinRTT: rtt, RTTSamples: 10 + reqs + extra,
-		SNI: "client-lb.dropbox.com", CertName: "*.dropbox.com",
-		SawFIN: true,
-	}
+	rec := g.newRecord()
+	rec.FirstPacket, rec.LastPacket = at, at+dur
+	rec.LastPayloadUp, rec.LastPayloadDown = at+dur-rtt/2, at+dur
+	rec.BytesUp, rec.BytesDown = up, down
+	rec.PktsUp, rec.PktsDown = int(up/wire.MSS)+reqs+2, int(down/wire.MSS)+reqs+2
+	rec.PSHUp, rec.PSHDown = 2+reqs, 2+reqs
+	// Meta-data exchanges span several segments each way; the probe
+	// collects a sample per acknowledged segment, comfortably past the
+	// >=10 filter of Fig. 6 on multi-request connections.
+	rec.MinRTT, rec.RTTSamples = rtt, 10+reqs+extra
+	rec.SNI, rec.CertName = "client-lb.dropbox.com", "*.dropbox.com"
+	rec.SawFIN = true
 	server := g.rng.Intn(10)
 	g.stamp(rec, hh.ip, wire.MakeIP(199, 47, 216, byte(server)), 443)
 	if g.cfg.HasDNS {
@@ -900,31 +1037,32 @@ func (g *generator) controlFlow(hh *household, at time.Duration, reqs, extra int
 	g.record(rec)
 }
 
+// oneNotifyFlow emits a single long-poll connection spanning [start, end).
+func (g *generator) oneNotifyFlow(hh *household, dev *device, start, end time.Duration) {
+	polls := int((end - start) / time.Minute)
+	if polls < 1 {
+		polls = 1
+	}
+	req := int64(90 + 12*len(dev.namespaces))
+	rec := g.newRecord()
+	rec.FirstPacket, rec.LastPacket = start, end
+	rec.LastPayloadUp, rec.LastPayloadDown = end, end
+	rec.BytesUp, rec.BytesDown = int64(polls)*req, int64(polls)*70
+	rec.PktsUp, rec.PktsDown = polls+2, polls+2
+	rec.PSHUp, rec.PSHDown = polls, polls
+	rec.MinRTT, rec.RTTSamples = g.rng.Jitter(g.cfg.ControlRTT, 0.02), polls
+	rec.NotifyHost, rec.NotifyNamespaces = dev.host, dev.namespaces
+	rec.SawRST = true
+	server := g.rng.Intn(20)
+	g.stamp(rec, hh.ip, wire.MakeIP(199, 47, 217, byte(server)), 80)
+	if g.cfg.HasDNS {
+		rec.FQDN = notifyFQDNs[server%len(notifyFQDNs)]
+	}
+	g.record(rec)
+}
+
 // notifyFlows emits the long-poll connection(s) covering a session.
 func (g *generator) notifyFlows(hh *household, dev *device, s session) {
-	emit := func(start, end time.Duration) {
-		polls := int((end - start) / time.Minute)
-		if polls < 1 {
-			polls = 1
-		}
-		req := int64(90 + 12*len(dev.namespaces))
-		rec := &traces.FlowRecord{
-			FirstPacket: start, LastPacket: end,
-			LastPayloadUp: end, LastPayloadDown: end,
-			BytesUp: int64(polls) * req, BytesDown: int64(polls) * 70,
-			PktsUp: polls + 2, PktsDown: polls + 2,
-			PSHUp: polls, PSHDown: polls,
-			MinRTT: g.rng.Jitter(g.cfg.ControlRTT, 0.02), RTTSamples: polls,
-			NotifyHost: dev.host, NotifyNamespaces: dev.namespaces,
-			SawRST: true,
-		}
-		server := g.rng.Intn(20)
-		g.stamp(rec, hh.ip, wire.MakeIP(199, 47, 217, byte(server)), 80)
-		if g.cfg.HasDNS {
-			rec.FQDN = fmt.Sprintf("notify%d.dropbox.com", server+1)
-		}
-		g.record(rec)
-	}
 	// Some sessions run behind network equipment that kills idle
 	// connections within a minute; the client re-establishes immediately,
 	// producing the sub-minute mass of Fig. 16. Chopping is decided per
@@ -932,7 +1070,7 @@ func (g *generator) notifyFlows(hh *household, dev *device, s session) {
 	// device's environment varies (Sec. 5.5).
 	chopped := dev.natChopped || g.rng.Bool(g.cfg.NATChoppedFrac)
 	if !chopped {
-		emit(s.start, s.end)
+		g.oneNotifyFlow(hh, dev, s.start, s.end)
 		return
 	}
 	for t := s.start; t < s.end; {
@@ -941,7 +1079,7 @@ func (g *generator) notifyFlows(hh *household, dev *device, s session) {
 		if end > s.end {
 			end = s.end
 		}
-		emit(t, end)
+		g.oneNotifyFlow(hh, dev, t, end)
 		t = end + time.Duration(g.rng.Uniform(0.5, 3)*float64(time.Second))
 	}
 }
@@ -950,13 +1088,12 @@ func (g *generator) systemLogFlow(hh *household, at time.Duration) {
 	if at >= g.horizon || !g.rng.Bool(0.6) {
 		return
 	}
-	rec := &traces.FlowRecord{
-		FirstPacket: at, LastPacket: at + 2*time.Second,
-		LastPayloadUp: at + 2*time.Second, LastPayloadDown: at + 2*time.Second,
-		BytesUp: int64(294 + 500 + g.rng.Intn(2000)), BytesDown: 4103 + 400,
-		PktsUp: 4, PktsDown: 5, PSHUp: 3, PSHDown: 3,
-		SNI: "d.dropbox.com", CertName: "*.dropbox.com", SawFIN: true,
-	}
+	rec := g.newRecord()
+	rec.FirstPacket, rec.LastPacket = at, at+2*time.Second
+	rec.LastPayloadUp, rec.LastPayloadDown = at+2*time.Second, at+2*time.Second
+	rec.BytesUp, rec.BytesDown = int64(294+500+g.rng.Intn(2000)), 4103+400
+	rec.PktsUp, rec.PktsDown, rec.PSHUp, rec.PSHDown = 4, 5, 3, 3
+	rec.SNI, rec.CertName, rec.SawFIN = "d.dropbox.com", "*.dropbox.com", true
 	g.stamp(rec, hh.ip, wire.MakeIP(199, 47, 216, 12), 443)
 	if g.cfg.HasDNS {
 		rec.FQDN = "d.dropbox.com"
@@ -981,14 +1118,13 @@ func (g *generator) webInterface(ip wire.IP, visits int) {
 			if g.rng.Bool(0.03) { // rare upload through the Web form
 				up += int64(g.rng.LogNormalMedian(30e3, 1.3))
 			}
-			rec := &traces.FlowRecord{
-				FirstPacket: at, LastPacket: at + 4*time.Second,
-				LastPayloadUp: at + time.Second, LastPayloadDown: at + 3*time.Second,
-				BytesUp: up, BytesDown: down,
-				PktsUp: int(up/wire.MSS) + 3, PktsDown: int(down/wire.MSS) + 3,
-				PSHUp: 3, PSHDown: 4,
-				SNI: "dl-web.dropbox.com", CertName: "*.dropbox.com", SawFIN: true,
-			}
+			rec := g.newRecord()
+			rec.FirstPacket, rec.LastPacket = at, at+4*time.Second
+			rec.LastPayloadUp, rec.LastPayloadDown = at+time.Second, at+3*time.Second
+			rec.BytesUp, rec.BytesDown = up, down
+			rec.PktsUp, rec.PktsDown = int(up/wire.MSS)+3, int(down/wire.MSS)+3
+			rec.PSHUp, rec.PSHDown = 3, 4
+			rec.SNI, rec.CertName, rec.SawFIN = "dl-web.dropbox.com", "*.dropbox.com", true
 			g.stamp(rec, ip, wire.MakeIP(184, 72, 3, 2), 443)
 			if g.cfg.HasDNS {
 				rec.FQDN = "dl-web.dropbox.com"
@@ -1018,14 +1154,13 @@ func (g *generator) directLinkDownloads(ip wire.IP, n int) {
 			up += 294
 			cert = "*.dropbox.com"
 		}
-		rec := &traces.FlowRecord{
-			FirstPacket: at, LastPacket: at + 8*time.Second,
-			LastPayloadUp: at + time.Second, LastPayloadDown: at + 8*time.Second,
-			BytesUp: up, BytesDown: down,
-			PktsUp: 4, PktsDown: int(down/wire.MSS) + 3,
-			PSHUp: 2, PSHDown: 3,
-			CertName: cert, SawFIN: true,
-		}
+		rec := g.newRecord()
+		rec.FirstPacket, rec.LastPacket = at, at+8*time.Second
+		rec.LastPayloadUp, rec.LastPayloadDown = at+time.Second, at+8*time.Second
+		rec.BytesUp, rec.BytesDown = up, down
+		rec.PktsUp, rec.PktsDown = 4, int(down/wire.MSS)+3
+		rec.PSHUp, rec.PSHDown = 2, 3
+		rec.CertName, rec.SawFIN = cert, true
 		g.stamp(rec, ip, wire.MakeIP(184, 72, 3, 0), port)
 		if g.cfg.HasDNS {
 			rec.FQDN = "dl.dropbox.com"
@@ -1041,14 +1176,13 @@ func (g *generator) apiFlows(ip wire.IP, n int) {
 		at := g.randomInstant()
 		down := int64(4103 + int(g.rng.LogNormalMedian(250e3, 1.6)))
 		up := int64(294 + 500 + g.rng.Intn(2000))
-		rec := &traces.FlowRecord{
-			FirstPacket: at, LastPacket: at + 5*time.Second,
-			LastPayloadUp: at + time.Second, LastPayloadDown: at + 5*time.Second,
-			BytesUp: up, BytesDown: down,
-			PktsUp: 4, PktsDown: int(down/wire.MSS) + 3,
-			PSHUp: 3, PSHDown: 3,
-			SNI: "api-content.dropbox.com", CertName: "*.dropbox.com", SawFIN: true,
-		}
+		rec := g.newRecord()
+		rec.FirstPacket, rec.LastPacket = at, at+5*time.Second
+		rec.LastPayloadUp, rec.LastPayloadDown = at+time.Second, at+5*time.Second
+		rec.BytesUp, rec.BytesDown = up, down
+		rec.PktsUp, rec.PktsDown = 4, int(down/wire.MSS)+3
+		rec.PSHUp, rec.PSHDown = 3, 3
+		rec.SNI, rec.CertName, rec.SawFIN = "api-content.dropbox.com", "*.dropbox.com", true
 		g.stamp(rec, ip, wire.MakeIP(184, 72, 3, 4), 443)
 		if g.cfg.HasDNS {
 			rec.FQDN = "api-content.dropbox.com"
@@ -1071,14 +1205,13 @@ func (g *generator) providerTraffic(ip wire.IP, cert string, activeFrom int, dai
 			at := dayStart + g.cfg.Diurnal.SampleTimeOfDay(g.rng)
 			down := int64(vol / float64(n) * g.rng.Uniform(0.5, 1.5))
 			up := down / 8
-			rec := &traces.FlowRecord{
-				FirstPacket: at, LastPacket: at + 20*time.Second,
-				LastPayloadUp: at + 10*time.Second, LastPayloadDown: at + 20*time.Second,
-				BytesUp: up + 294, BytesDown: down + 4103,
-				PktsUp: int(up/wire.MSS) + 4, PktsDown: int(down/wire.MSS) + 4,
-				PSHUp: 4, PSHDown: 4,
-				CertName: cert, SawFIN: true,
-			}
+			rec := g.newRecord()
+			rec.FirstPacket, rec.LastPacket = at, at+20*time.Second
+			rec.LastPayloadUp, rec.LastPayloadDown = at+10*time.Second, at+20*time.Second
+			rec.BytesUp, rec.BytesDown = up+294, down+4103
+			rec.PktsUp, rec.PktsDown = int(up/wire.MSS)+4, int(down/wire.MSS)+4
+			rec.PSHUp, rec.PSHDown = 4, 4
+			rec.CertName, rec.SawFIN = cert, true
 			g.stamp(rec, ip, wire.MakeIP(17, 32, byte(d), byte(i)), 443)
 			g.record(rec)
 		}

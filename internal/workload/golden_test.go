@@ -1,0 +1,69 @@
+package workload
+
+import (
+	"hash/fnv"
+	"testing"
+
+	"insidedropbox/internal/capability"
+	"insidedropbox/internal/traces"
+)
+
+// streamHash serializes a (cfg, seed, shards) record stream as
+// non-anonymized CSV — every field, full precision where CSV carries it —
+// and returns the FNV-1a hash of the bytes. Multi-shard streams hash
+// shards in index order (the canonical fleet order).
+func streamHash(t *testing.T, cfg VPConfig, seed int64, nshards int) uint64 {
+	t.Helper()
+	h := fnv.New64a()
+	w := traces.NewWriter(h)
+	for sh := 0; sh < nshards; sh++ {
+		GenerateShard(cfg, seed, sh, nshards, func(r *traces.FlowRecord) {
+			if err := w.Write(r); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return h.Sum64()
+}
+
+// TestRecordStreamGolden pins the generated record streams bit for bit.
+// These hashes were recorded before the hot-path optimization pass
+// (string interning, record pooling, event-slice rewrite, chunk-size
+// iteration): any optimization that changes a single byte of any record
+// stream fails here. Update a hash only for a deliberate,
+// documented model change — never for a performance change
+// (PERFORMANCE.md: optimizations must not change golden outputs).
+func TestRecordStreamGolden(t *testing.T) {
+	bigChunks, ok := capability.ByName("big-chunks-16mb")
+	if !ok {
+		t.Fatal("big-chunks-16mb preset missing")
+	}
+	withCaps := func(cfg VPConfig, p capability.Profile) VPConfig {
+		cfg.Caps = &p
+		return cfg
+	}
+	cases := []struct {
+		name    string
+		cfg     VPConfig
+		seed    int64
+		nshards int
+		want    uint64
+	}{
+		{"home1-1shard", Home1(0.02), 7, 1, 0xd01117eb3a234b9d},
+		{"home1-4shard", Home1(0.02), 7, 4, 0x1887b88d5f86bad5},
+		{"home2-abnormal-1shard", Home2(0.02), 9, 1, 0xa59024c1345e9efb},
+		{"campus1-1shard", Campus1(0.1), 7, 1, 0x6e788bc7931c6666},
+		{"campus1-bigchunks-1shard", withCaps(Campus1(0.1), bigChunks), 7, 1, 0x5ffb4eb3ba85ad2b},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := streamHash(t, tc.cfg, tc.seed, tc.nshards)
+			if got != tc.want {
+				t.Fatalf("record stream hash = %#x, want %#x (a hot-path change altered generated records)", got, tc.want)
+			}
+		})
+	}
+}
