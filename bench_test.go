@@ -8,6 +8,7 @@ package insidedropbox
 // distance, delta encoding and LAN sync.
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -94,7 +95,11 @@ func BenchmarkTable5(b *testing.B) { runExperiment(b, experiments.Table5, "home1
 func BenchmarkFigure1(b *testing.B) {
 	var tb *experiments.TestbedResult
 	for i := 0; i < b.N; i++ {
-		tb = experiments.RunTestbed(int64(i) + 1)
+		var err error
+		tb, err = experiments.RunTestbed(context.Background(), int64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(tb.Figure1.Metrics["messages"], "messages")
 }
@@ -128,7 +133,11 @@ func BenchmarkFigure9And10(b *testing.B) {
 		retr := experiments.QuickPacketLab(true)
 		store.Seed = int64(i) + 1
 		retr.Seed = int64(i) + 1001
-		fig9, _ = experiments.RunPacketLabs(store, retr)
+		var err error
+		fig9, _, err = experiments.RunPacketLabs(context.Background(), store, retr)
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(fig9.Metrics["avg_tp_store"], "avg_store_bps")
 	b.ReportMetric(fig9.Metrics["avg_tp_retrieve"], "avg_retrieve_bps")
@@ -137,7 +146,11 @@ func BenchmarkFigure9And10(b *testing.B) {
 func BenchmarkFigure19(b *testing.B) {
 	var tb *experiments.TestbedResult
 	for i := 0; i < b.N; i++ {
-		tb = experiments.RunTestbed(int64(i) + 50)
+		var err error
+		tb, err = experiments.RunTestbed(context.Background(), int64(i)+50)
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(tb.Figure19.Metrics["captured_packets"], "packets")
 }
@@ -274,7 +287,10 @@ func BenchmarkFleetVsSequential(b *testing.B) {
 		shards := 2 * runtime.GOMAXPROCS(0)
 		b.Run(name+"/sharded-dataset", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				ds := fleet.Dataset(cfg, int64(i), fleet.Config{Shards: shards})
+				ds, err := fleet.Dataset(context.Background(), cfg, int64(i), fleet.Config{Shards: shards})
+				if err != nil {
+					b.Fatal(err)
+				}
 				if len(ds.Records) == 0 {
 					b.Fatal("empty dataset")
 				}
@@ -282,7 +298,10 @@ func BenchmarkFleetVsSequential(b *testing.B) {
 		})
 		b.Run(name+"/sharded-stream", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				sum, _ := fleet.Summarize(cfg, int64(i), fleet.Config{Shards: shards})
+				sum, _, err := fleet.Summarize(context.Background(), cfg, int64(i), fleet.Config{Shards: shards})
+				if err != nil {
+					b.Fatal(err)
+				}
 				if sum.Flows == 0 {
 					b.Fatal("empty summary")
 				}
@@ -405,7 +424,10 @@ func BenchmarkFleetSummarizePooled(b *testing.B) {
 	b.ReportAllocs()
 	var records int64
 	for i := 0; i < b.N; i++ {
-		_, stats := fleet.Summarize(cfg, 42, fleet.Config{Shards: 8})
+		_, stats, err := fleet.Summarize(context.Background(), cfg, 42, fleet.Config{Shards: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
 		records += int64(stats.Records)
 	}
 	b.ReportMetric(float64(records)/b.Elapsed().Seconds(), "records/s")

@@ -25,13 +25,14 @@ import (
 	"strings"
 
 	"insidedropbox/internal/bench"
+	"insidedropbox/internal/cli"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "CI-smoke scales (seconds, not minutes)")
 	rev := flag.String("rev", "", "revision label for the report (default: git short rev)")
 	out := flag.String("o", "", "output file (default BENCH_<rev>.json)")
-	scenarios := flag.String("scenarios", "", "only run scenarios whose name contains this substring")
+	scenarios := flag.String("scenarios", "", "comma-separated scenario substrings or globs (e.g. serialize/*,fleet)")
 	compare := flag.String("compare", "", "baseline BENCH_*.json to gate against, or 'auto' for the latest in the current directory")
 	maxRatio := flag.Float64("max-allocs-ratio", 2.0, "fail -compare when allocs/record exceeds baseline by this factor")
 	list := flag.Bool("list", false, "print the scenario catalogue and exit")
@@ -49,7 +50,7 @@ func main() {
 	}
 	opts := bench.Options{Quick: *quick, Rev: *rev, Log: os.Stderr}
 	if *scenarios != "" {
-		opts.Filter = func(name string) bool { return strings.Contains(name, *scenarios) }
+		opts.Filter = cli.Matcher(*scenarios)
 	}
 
 	// Resolve and load the comparison baseline before anything is written,
@@ -74,7 +75,12 @@ func main() {
 		}
 	}
 
-	rep := bench.Run(opts)
+	ctx, stop := cli.SignalContext()
+	defer stop()
+	rep := bench.Run(ctx, opts)
+	if ctx.Err() != nil {
+		cli.Exit(ctx, "bench (partial report discarded)", ctx.Err())
+	}
 	if len(rep.Scenarios) == 0 {
 		fmt.Fprintln(os.Stderr, "bench: no scenarios matched")
 		os.Exit(2)

@@ -12,12 +12,13 @@
 //	        [-profile NAME] [-format csv|binary] [-summary] [-o FILE]
 //
 // Records stream from the generator shards straight into the trace
-// writer, so memory stays bounded however large -scale and -devices-scale
-// grow the population. -shards changes the population sample (each shard
-// draws an independent seeded stream); -workers only changes wall-clock
-// time. The serialization format never changes the record stream itself —
-// a binary export decodes to exactly the rows the CSV export carries
-// (PERFORMANCE.md documents that contract).
+// writer over the facade's record iterator, so memory stays bounded
+// however large -scale and -devices-scale grow the population. -shards
+// changes the population sample (each shard draws an independent seeded
+// stream); -workers only changes wall-clock time. The serialization
+// format never changes the record stream itself — a binary export decodes
+// to exactly the rows the CSV export carries (PERFORMANCE.md documents
+// that contract). ^C cancels the export cleanly at shard granularity.
 //
 // Rows are emitted in deterministic shard/generation order, not sorted by
 // first-packet time as the materializing GenerateDataset export is — a
@@ -32,6 +33,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -40,10 +42,11 @@ import (
 
 	"insidedropbox"
 	"insidedropbox/internal/analysis"
+	"insidedropbox/internal/cli"
 )
 
 func main() {
-	vp := flag.String("vp", "home1", "vantage point: campus1, campus2, home1, home2")
+	vp := flag.String("vp", "home1", "vantage point: "+strings.Join(cli.VantageNames(), ", "))
 	scale := flag.Float64("scale", 0.05, "population scale versus the paper")
 	seed := flag.Int64("seed", 42, "random seed")
 	shards := flag.Int("shards", 1, "deterministic population shards (part of the result)")
@@ -61,20 +64,9 @@ func main() {
 		os.Exit(2)
 	}
 
-	var cfg insidedropbox.VPConfig
-	switch *vp {
-	case "campus1":
-		cfg = insidedropbox.Campus1(*scale)
-	case "campus1-junjul":
-		cfg = insidedropbox.Campus1JunJul(*scale)
-	case "campus2":
-		cfg = insidedropbox.Campus2(*scale)
-	case "home1":
-		cfg = insidedropbox.Home1(*scale)
-	case "home2":
-		cfg = insidedropbox.Home2(*scale)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown vantage point %q\n", *vp)
+	cfg, err := cli.VantagePoint(*vp, *scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 	if *profile != "" {
@@ -99,15 +91,17 @@ func main() {
 		w = f
 	}
 
+	ctx, stop := cli.SignalContext()
+	defer stop()
+
 	if *summary {
-		printSummary(cfg, *seed, fc, w)
+		printSummary(ctx, cfg, *seed, fc, w)
 		return
 	}
 
-	stats, volume, err := streamTraces(cfg, *seed, fc, w, *format)
+	stats, volume, err := streamTraces(ctx, cfg, *seed, fc, w, *format)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "writing traces:", err)
-		os.Exit(1)
+		cli.Exit(ctx, "writing traces", err)
 	}
 	for _, v := range stats.BackgroundByDay {
 		volume += v
@@ -118,8 +112,13 @@ func main() {
 
 // printSummary runs the bounded-memory aggregation path and renders the
 // streaming metrics.
-func printSummary(cfg insidedropbox.VPConfig, seed int64, fc insidedropbox.FleetConfig, w io.Writer) {
-	sum, stats := insidedropbox.GenerateFleetSummary(cfg, seed, fc)
+func printSummary(ctx context.Context, cfg insidedropbox.VPConfig, seed int64,
+	fc insidedropbox.FleetConfig, w io.Writer) {
+
+	sum, stats, err := insidedropbox.Summarize(ctx, cfg, seed, fc)
+	if err != nil {
+		cli.Exit(ctx, "summarizing", err)
+	}
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, "%s: %d IPs, %d shards\n", stats.Cfg.Name, stats.Cfg.TotalIPs, stats.Shards)
 	m := sum.Metrics()
@@ -135,33 +134,34 @@ func printSummary(cfg insidedropbox.VPConfig, seed int64, fc insidedropbox.Fleet
 }
 
 // streamTraces pipes records from the generator shards straight into the
-// chosen trace writer without materializing the dataset. A write error
-// latches and skips all further writes; generation itself still runs to
-// completion (the engine has no cancellation path yet).
-func streamTraces(cfg insidedropbox.VPConfig, seed int64, fc insidedropbox.FleetConfig,
-	w io.Writer, format string) (insidedropbox.FleetStats, float64, error) {
+// chosen trace writer through a WriterSink, without materializing the
+// dataset. The sink latches the first write error and stops the stream; a
+// cancelled context stops it at shard granularity.
+func streamTraces(ctx context.Context, cfg insidedropbox.VPConfig, seed int64,
+	fc insidedropbox.FleetConfig, w io.Writer, format string) (insidedropbox.FleetStats, float64, error) {
 
-	var tw insidedropbox.RecordWriter
 	var bw *bufio.Writer
+	sink := &insidedropbox.WriterSink{}
 	if format == "binary" {
 		bw = bufio.NewWriterSize(w, 1<<16)
-		tw = insidedropbox.NewBinaryTraceWriter(bw)
+		sink.W = insidedropbox.NewBinaryTraceWriter(bw)
 	} else {
-		tw = insidedropbox.NewTraceWriter(w)
+		sink.W = insidedropbox.NewTraceWriter(w)
 	}
 	var volume float64
-	var writeErr error
-	stats := insidedropbox.StreamDataset(cfg, seed, fc, func(r *insidedropbox.FlowRecord) {
+	stats, err := insidedropbox.StreamRecords(ctx, cfg, seed, fc, func(r *insidedropbox.FlowRecord) bool {
 		volume += float64(r.BytesUp + r.BytesDown)
-		if writeErr == nil {
-			writeErr = tw.Write(r)
-		}
+		sink.Consume(r)
+		return sink.Err == nil
 	})
-	if writeErr == nil {
-		writeErr = tw.Flush()
+	if err == nil {
+		err = sink.Err
 	}
-	if bw != nil && writeErr == nil {
-		writeErr = bw.Flush()
+	if err == nil {
+		err = sink.W.Flush()
 	}
-	return stats, volume, writeErr
+	if bw != nil && err == nil {
+		err = bw.Flush()
+	}
+	return stats, volume, err
 }

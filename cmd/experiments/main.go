@@ -1,99 +1,67 @@
-// Command experiments regenerates every table and figure of the paper and
-// writes them to a results directory.
+// Command experiments regenerates the paper's tables and figures through
+// the unified experiment API and writes them to a results directory.
 //
 // Usage:
 //
 //	experiments [-seed N] [-out DIR] [-quick] [-skip-packet]
-//	            [-shards N] [-fleet-scale F]
-//	            [-whatif] [-profiles LIST]
+//	            [-only IDS] [-shards N] [-workers N]
+//	            [-fleet-scale F] [-whatif] [-profiles LIST] [-list]
 //
-// -shards routes campaign generation through the sharded fleet engine
-// (changing the population sample but not its size); -fleet-scale > 0 adds
-// a streaming fleet campaign at that population multiplier, aggregated
-// with bounded memory. -whatif adds a capability what-if campaign: the
-// Campus 1 population replayed under every profile in -profiles (default:
-// the full preset catalogue), compared against the first profile.
+// -only selects a catalogue subset by ID or glob ("table3", "figure*",
+// "table4,figure9"); without it the full default catalogue runs. -shards
+// routes campaign generation through the sharded fleet engine (changing
+// the population sample but not its size); -fleet-scale > 0 adds the
+// streaming fleet lab at that population multiplier; -whatif adds the
+// capability what-if lab (Campus 1 under -profiles, compared against the
+// first profile). ^C cancels cleanly at fleet-shard granularity.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 	"time"
 
 	"insidedropbox"
+	"insidedropbox/internal/cli"
 )
 
 func main() {
-	seed := flag.Int64("seed", 2012, "campaign random seed")
-	out := flag.String("out", "results", "output directory")
-	quick := flag.Bool("quick", false, "small populations and packet labs")
-	skipPacket := flag.Bool("skip-packet", false, "skip the packet-level labs (Figs. 1, 9, 10, 19)")
-	shards := flag.Int("shards", 1, "population shards per vantage point (1 = historical datasets)")
-	fleetScale := flag.Float64("fleet-scale", 0, "also run a streaming fleet campaign at this device multiplier (0 = off)")
-	whatif := flag.Bool("whatif", false, "run the capability what-if campaign (Campus 1 under -profiles)")
-	profiles := flag.String("profiles", strings.Join(insidedropbox.CapabilityNames(), ","),
-		"comma-separated capability profiles for -whatif (first = baseline)")
+	flags := cli.BindSpec(flag.CommandLine)
+	list := flag.Bool("list", false, "print the experiment catalogue and exit")
 	flag.Parse()
 
-	start := time.Now()
-	scale := insidedropbox.DefaultScale()
-	if *quick {
-		scale = insidedropbox.SmallScale()
-	}
-	fmt.Printf("generating 42-day campaign (seed %d, %d shards/VP)...\n", *seed, *shards)
-	camp := insidedropbox.RunShardedCampaign(*seed, scale, insidedropbox.FleetConfig{Shards: *shards})
-	for _, ds := range camp.Datasets {
-		fmt.Printf("  %-16s %6d IPs  %8d flows  %7.2f GB (scale %.2f)\n",
-			ds.Cfg.Name, ds.Cfg.TotalIPs, len(ds.Records), ds.TotalVolume()/1e9, ds.Cfg.Scale)
-	}
-
-	results := insidedropbox.AllExperiments(camp)
-
-	fmt.Println("running Table 4 (bundling before/after)...")
-	t4scale := 1.0
-	if *quick {
-		t4scale = 0.4
-	}
-	results = append(results, insidedropbox.Table4(*seed, t4scale))
-
-	if *whatif {
-		profs, err := insidedropbox.ParseProfiles(*profiles)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+	if *list {
+		for _, e := range insidedropbox.Experiments() {
+			kind := ""
+			switch {
+			case e.Needs.Packet:
+				kind = "  [packet]"
+			case e.Needs.OptIn:
+				kind = "  [opt-in]"
+			}
+			fmt.Printf("%-10s %s%s\n", e.ID, e.Title, kind)
 		}
-		fmt.Printf("running capability what-if campaign (%d profiles)...\n", len(profs))
-		rep := insidedropbox.RunWhatIf(insidedropbox.WhatIfConfig{
-			Seed: *seed, VP: insidedropbox.Campus1(t4scale),
-			Fleet: insidedropbox.FleetConfig{Shards: *shards}, Profiles: profs,
-		})
-		results = append(results, rep.Result())
+		return
 	}
 
-	if *fleetScale > 0 {
-		fmt.Printf("running streaming fleet campaign (%.4gx devices)...\n", *fleetScale)
-		rep := insidedropbox.RunFleetCampaign(*seed, scale,
-			insidedropbox.FleetConfig{Shards: *shards, DevicesScale: *fleetScale})
-		results = append(results, rep.Result())
+	spec, err := flags.Spec()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
+	spec.Progress = cli.Progress(os.Stdout)
 
-	if !*skipPacket {
-		fmt.Println("running packet-level performance labs (Figs. 9, 10)...")
-		fig9, fig10 := insidedropbox.PerformanceLab(*quick)
-		results = append(results, fig9, fig10)
+	ctx, stop := cli.SignalContext()
+	defer stop()
 
-		fmt.Println("running protocol testbed (Figs. 1, 19)...")
-		fig1, fig19 := insidedropbox.Testbed(*seed)
-		results = append(results, fig1, fig19)
+	start := time.Now()
+	results, err := insidedropbox.Run(ctx, spec)
+	if err != nil {
+		cli.Exit(ctx, fmt.Sprintf("run (%d experiments completed)", len(results)), err)
 	}
-
-	if err := insidedropbox.WriteResults(*out, results); err != nil {
-		fmt.Fprintln(os.Stderr, "writing results:", err)
-		os.Exit(1)
-	}
-	fmt.Printf("wrote %d experiments to %s/ in %v\n", len(results), *out, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("wrote %d experiments to %s/ in %v\n",
+		len(results), spec.ResultsDir, time.Since(start).Round(time.Millisecond))
 	for _, r := range results {
 		fmt.Printf("  %-10s %s\n", r.ID, r.Title)
 	}

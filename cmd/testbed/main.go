@@ -1,7 +1,8 @@
 // Command testbed runs the decrypting-proxy-equivalent protocol dissection
 // of Sec. 2.2: a real client session against the full simulated service,
 // with the control/storage message sequence (Fig. 1) and annotated packet
-// traces of the storage flows (Fig. 19).
+// traces of the storage flows (Fig. 19), selected from the experiment
+// registry.
 //
 // Usage:
 //
@@ -13,6 +14,7 @@ import (
 	"fmt"
 
 	"insidedropbox"
+	"insidedropbox/internal/cli"
 )
 
 func main() {
@@ -20,13 +22,21 @@ func main() {
 	onlyFig19 := flag.Bool("fig19", false, "print only the packet traces")
 	flag.Parse()
 
-	fig1, fig19 := insidedropbox.Testbed(*seed)
-	if !*onlyFig19 {
-		fmt.Println(fig1.Title)
-		fmt.Println()
-		fmt.Println(fig1.Text)
+	selection := []string{"figure1", "figure19"}
+	if *onlyFig19 {
+		selection = []string{"figure19"}
 	}
-	fmt.Println(fig19.Title)
-	fmt.Println()
-	fmt.Println(fig19.Text)
+
+	ctx, stop := cli.SignalContext()
+	defer stop()
+	results, err := insidedropbox.Run(ctx, insidedropbox.Spec{Seed: *seed},
+		insidedropbox.WithExperiments(selection...))
+	if err != nil {
+		cli.Exit(ctx, "testbed", err)
+	}
+	for _, r := range results {
+		fmt.Println(r.Title)
+		fmt.Println()
+		fmt.Println(r.Text)
+	}
 }

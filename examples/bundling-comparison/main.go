@@ -1,17 +1,25 @@
 // Bundling comparison: reproduce Table 4 — the performance effect of the
 // Dropbox 1.4.0 chunk-bundling deployment that the paper measured between
 // its Mar/Apr and Jun/Jul Campus 1 datasets, and the paper's headline
-// recommendation in action.
+// recommendation in action — selected from the experiment registry.
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
 	"insidedropbox"
 )
 
 func main() {
-	r := insidedropbox.Table4(7, 1.0)
+	results, err := insidedropbox.Run(context.Background(),
+		insidedropbox.Spec{Seed: 7, Scale: insidedropbox.DefaultScale()},
+		insidedropbox.WithExperiments("table4"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := results[0]
 	fmt.Println(r.Text)
 
 	imp := func(metric string) float64 {

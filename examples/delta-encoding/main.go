@@ -2,7 +2,8 @@
 // files into 4 MB chunks identified by SHA-256, deduplicates against the
 // server's chunk index, and ships rsync-style deltas for edited files.
 // This example runs those primitives directly and reports the traffic each
-// one saves.
+// one saves; the campaign-level view of the same knobs is the what-if
+// lab (examples/whatif-profiles, profiles no-dedup / no-delta).
 package main
 
 import (

@@ -1,22 +1,29 @@
 // Protocol dissection: the paper's Sec. 2.2 testbed — run a real client
 // session against the simulated service and observe the decrypted protocol
 // message sequence (Fig. 1) plus the packet-level anatomy of storage flows
-// (Fig. 19).
+// (Fig. 19). Both figures come from one testbed run: the registry session
+// memoizes it, so selecting them together dissects a single session.
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
 	"insidedropbox"
 )
 
 func main() {
-	fig1, fig19 := insidedropbox.Testbed(2012)
+	results, err := insidedropbox.Run(context.Background(),
+		insidedropbox.Spec{Seed: 2012},
+		insidedropbox.WithExperiments("figure1", "figure19"))
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Println("=== The Dropbox protocol, as seen by the testbed ===")
 	fmt.Println()
-	fmt.Println(fig1.Text)
-	fmt.Println("=== Packet-level anatomy of storage flows ===")
-	fmt.Println()
-	fmt.Println(fig19.Text)
+	for _, r := range results {
+		fmt.Println(r.Text)
+	}
 }

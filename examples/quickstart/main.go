@@ -1,30 +1,34 @@
-// Quickstart: generate a small measurement campaign and print the headline
-// characterization — the fastest way to see the library end to end.
+// Quickstart: run a selection of the paper's experiments through the
+// unified Run entry point — the fastest way to see the library end to end.
+//
+// Every table and figure is a registered experiment with a stable ID;
+// Run materializes the shared campaign once and executes any selection of
+// the catalogue under a cancellable context.
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
 	"insidedropbox"
 )
 
 func main() {
-	// A campaign generates 42 days of traffic at four vantage points and
-	// runs it through the passive-measurement methodology of the paper.
-	camp := insidedropbox.RunCampaign(1, insidedropbox.SmallScale())
+	// The catalogue: every table, figure and lab, addressable by ID.
+	catalogue := insidedropbox.Experiments()
+	fmt.Printf("registered experiments: %d (table1..table5, figure1..figure21, fleet, whatif)\n\n", len(catalogue))
 
-	for _, ds := range camp.Datasets {
-		fmt.Printf("%-10s %5d IPs, %6d flows, %6.2f GB total, %d Dropbox devices\n",
-			ds.Cfg.Name, ds.Cfg.TotalIPs, len(ds.Records),
-			ds.TotalVolume()/1e9, ds.DropboxDevices)
+	// Run just Table 3 and Figure 6 at a small scale. The campaign behind
+	// them generates once and is shared; cancelling ctx would stop it
+	// mid-shard.
+	results, err := insidedropbox.Run(context.Background(),
+		insidedropbox.Spec{Seed: 1, Scale: insidedropbox.SmallScale()},
+		insidedropbox.WithExperiments("table3", "figure6"))
+	if err != nil {
+		log.Fatal(err)
 	}
-	fmt.Println()
-
-	// Regenerate a couple of the paper's results.
-	for _, r := range insidedropbox.AllExperiments(camp) {
-		switch r.ID {
-		case "table3", "figure6":
-			fmt.Println(r.Text)
-		}
+	for _, r := range results {
+		fmt.Println(r.Text)
 	}
 }

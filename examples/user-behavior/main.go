@@ -1,22 +1,27 @@
 // User behavior: reproduce the home-network workload characterization —
 // the four user groups of Table 5 (occasional / upload-only /
 // download-only / heavy), the per-household volume scatter of Fig. 11, and
-// the device counts of Fig. 12.
+// the device counts of Fig. 12 — as one registry selection sharing a
+// single generated campaign.
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
 	"insidedropbox"
 )
 
 func main() {
-	camp := insidedropbox.RunCampaign(3, insidedropbox.SmallScale())
-	for _, r := range insidedropbox.AllExperiments(camp) {
-		switch r.ID {
-		case "table5", "figure11", "figure12":
-			fmt.Println(r.Text)
-			fmt.Println()
-		}
+	results, err := insidedropbox.Run(context.Background(),
+		insidedropbox.Spec{Seed: 3, Scale: insidedropbox.SmallScale()},
+		insidedropbox.WithExperiments("table5", "figure11", "figure12"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range results {
+		fmt.Println(r.Text)
+		fmt.Println()
 	}
 }

@@ -5,44 +5,54 @@
 // shipped: no deduplication, no delta encoding, 16 MB chunks, a fully
 // pipelined storage protocol.
 //
-// The first profile is the baseline the delta table references. The two
-// Dropbox presets reproduce the historical clients bit for bit, so the
-// dropbox-1.2.52 row is exactly the Campus 1 population the other
-// experiments measure.
+// The what-if lab is an opt-in registry experiment: configuring profiles
+// on the Spec (WithProfiles) opts it into the run. The first profile is
+// the baseline the delta table references. The two Dropbox presets
+// reproduce the historical clients bit for bit, so the dropbox-1.2.52 row
+// is exactly the Campus 1 population the other experiments measure.
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
 	"insidedropbox"
 )
 
 func main() {
-	cfg := insidedropbox.Campus1(0.4)
-	cfg.Days = 14 // two weeks keep the example fast
+	profiles := insidedropbox.CapabilityPresets()
 
-	rep := insidedropbox.RunWhatIf(insidedropbox.WhatIfConfig{
-		Seed:     2012,
-		VP:       cfg,
-		Fleet:    insidedropbox.FleetConfig{Shards: 4},
-		Profiles: insidedropbox.CapabilityPresets(),
-	})
-	fmt.Println(rep.Result().Text)
+	// A small Campus 1 fraction keeps the example fast (each of the six
+	// profiles replays the full 42-day population at this scale).
+	// WithShards(4) spreads each profile's replay across four
+	// deterministic population shards.
+	results, err := insidedropbox.Run(context.Background(),
+		insidedropbox.Spec{Seed: 2012},
+		insidedropbox.WithScale(insidedropbox.ScaleConfig{Campus1: 0.15}),
+		insidedropbox.WithExperiments("whatif"),
+		insidedropbox.WithProfiles(profiles...),
+		insidedropbox.WithShards(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := results[0]
+	fmt.Println(r.Text)
 
-	base := rep.Runs[0].Agg
+	// The metrics carry every absolute value keyed by profile name, so the
+	// deltas recompute from the Result alone.
+	base := profiles[0].Name
+	vol := func(p string) float64 { return r.Metrics["store_gb_"+p] + r.Metrics["retrieve_gb_"+p] }
 	fmt.Println("Reading the table:")
-	fmt.Printf("  baseline %s moved %.2f GB of storage traffic in %d flows\n",
-		rep.Runs[0].Profile.Name,
-		float64(base.Summary.StoreBytes+base.Summary.RetrieveBytes)/1e9,
-		base.Summary.StoreFlows+base.Summary.RetrieveFlows)
-	for _, run := range rep.Runs[1:] {
-		a := run.Agg
+	fmt.Printf("  baseline %s moved %.2f GB of storage traffic in %.0f flows\n",
+		base, vol(base), r.Metrics["storage_flows_"+base])
+	for _, p := range profiles[1:] {
+		name := p.Name
 		fmt.Printf("  %-16s volume %+6.1f%%  ops %+6.1f%%  store latency %+6.1f%%\n",
-			run.Profile.Name,
-			100*(float64(a.Summary.StoreBytes+a.Summary.RetrieveBytes)/
-				float64(base.Summary.StoreBytes+base.Summary.RetrieveBytes)-1),
-			100*(float64(a.StoreOps+a.RetrieveOps)/float64(base.StoreOps+base.RetrieveOps)-1),
-			100*(a.StoreLatency.Quantile(0.5)/base.StoreLatency.Quantile(0.5)-1))
+			name,
+			100*(vol(name)/vol(base)-1),
+			100*(r.Metrics["ops_"+name]/r.Metrics["ops_"+base]-1),
+			100*(r.Metrics["store_med_ms_"+name]/r.Metrics["store_med_ms_"+base]-1))
 	}
 	fmt.Println("\nNote: profiles that change operation structure resample the heavy-tailed")
 	fmt.Println("file sizes (EXPERIMENTS.md, determinism contract point 8), so volume deltas")

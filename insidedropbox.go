@@ -17,14 +17,40 @@
 //     session reconstruction, user grouping);
 //   - calibrated workload generators standing in for the four European
 //     vantage points of the study; and
-//   - a sharded, streaming fleet engine (FleetConfig, RunFleetCampaign)
-//     that scales those populations from thousands to millions of devices
+//   - a sharded, streaming fleet engine (FleetConfig, RunFleet) that
+//     scales those populations from thousands to millions of devices
 //     across every core with bounded memory and bit-reproducible results.
 //
-// Every table and figure of the paper regenerates through this API; see
-// cmd/experiments for the batch driver and EXPERIMENTS.md for the
+// # The experiment API
+//
+// Every table and figure of the paper is a registered Experiment with a
+// stable ID; Experiments lists the catalogue, and Run executes any
+// selection of it under one cancellable entry point:
+//
+//	results, err := insidedropbox.Run(ctx,
+//		insidedropbox.Spec{Seed: 2012},
+//		insidedropbox.WithExperiments("table4", "figure9"),
+//		insidedropbox.WithShards(8))
+//
+// Spec unifies seed, population scale, fleet sizing, capability profiles
+// and experiment selection; functional options (WithShards, WithProfiles,
+// WithProgress, WithResultsDir, ...) layer adjustments on top. Context
+// cancellation threads through the fleet worker pool and the packet-level
+// labs, so million-device campaigns abort cleanly mid-shard.
+//
+// # Record streams
+//
+// Records exposes any vantage point's flow-record stream as an iterator;
+// the same abstraction feeds CSV/binary export, fleet aggregation and
+// user analysis:
+//
+//	for r, err := range insidedropbox.Records(ctx, cfg, seed, fc) { ... }
+//
+// See cmd/experiments for the batch driver and EXPERIMENTS.md for the
 // experiment catalogue and the fleet engine's sharding and determinism
-// contract.
+// contract. The pre-context entry points (RunCampaign, AllExperiments,
+// Table4, PerformanceLab, Testbed, ...) remain available, bit-identical,
+// in deprecated.go.
 package insidedropbox
 
 import (
@@ -32,6 +58,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"insidedropbox/internal/analysis"
 	"insidedropbox/internal/capability"
@@ -44,8 +71,23 @@ import (
 // Campaign is a generated four-vantage-point dataset collection.
 type Campaign = experiments.Campaign
 
-// Result is one regenerated table or figure.
+// Result is one regenerated table or figure: rendered text, named metrics
+// and (on registry runs) ordered provenance metadata.
 type Result = experiments.Result
+
+// ResultMeta is one ordered provenance entry on a Result.
+type ResultMeta = experiments.MetaEntry
+
+// Experiment is one registered table, figure or lab of the catalogue.
+type Experiment = experiments.Experiment
+
+// ExperimentNeeds declares which shared session inputs an experiment
+// consumes (campaign, packet stack, opt-in configuration).
+type ExperimentNeeds = experiments.Needs
+
+// Session carries one run's inputs and memoizes the expensive shared
+// artifacts (campaign, packet labs, testbed) across experiments.
+type Session = experiments.Session
 
 // ScaleConfig controls population downscaling per vantage point.
 type ScaleConfig = experiments.ScaleConfig
@@ -70,6 +112,11 @@ type BinaryTraceReader = traces.BinaryReader
 // RecordWriter is the sink interface both trace serializations implement;
 // format-agnostic exporters write through it.
 type RecordWriter = traces.RecordWriter
+
+// WriterSink adapts a RecordWriter into a fleet sink: the glue between a
+// record stream and either trace serialization. The first write error
+// latches into Err and suppresses further writes.
+type WriterSink = fleet.WriterSink
 
 // NewTraceWriter returns an anonymizing CSV trace writer (the format of
 // the paper's public release), for streaming exports that never hold a
@@ -103,12 +150,6 @@ func DefaultScale() ScaleConfig { return experiments.DefaultScale() }
 // SmallScale returns a fast, test-sized scaling.
 func SmallScale() ScaleConfig { return experiments.SmallScale() }
 
-// RunCampaign generates the four vantage-point datasets (Campus 1/2,
-// Home 1/2) for the 42-day observation window.
-func RunCampaign(seed int64, scale ScaleConfig) *Campaign {
-	return experiments.RunCampaign(seed, scale)
-}
-
 // Vantage point constructors, exposed for custom campaigns.
 var (
 	Campus1 = workload.Campus1
@@ -119,7 +160,8 @@ var (
 	Campus1JunJul = workload.Campus1JunJul
 )
 
-// GenerateDataset runs the workload generator for one vantage point.
+// GenerateDataset runs the workload generator for one vantage point,
+// materializing every record (use Records for bounded-memory streaming).
 func GenerateDataset(cfg VPConfig, seed int64) *Dataset {
 	return workload.Generate(cfg, seed)
 }
@@ -142,34 +184,6 @@ type FleetSummary = fleet.Summary
 // FleetReport is a campaign reduced to streaming aggregates — what a
 // campaign looks like at populations too large to materialize.
 type FleetReport = experiments.FleetReport
-
-// RunFleetCampaign streams all four vantage points through the sharded
-// fleet engine with bounded memory: records are aggregated as they are
-// generated and never accumulated, so FleetConfig.DevicesScale can grow
-// the population far past what RunCampaign could hold.
-func RunFleetCampaign(seed int64, scale ScaleConfig, fc FleetConfig) *FleetReport {
-	return experiments.RunFleetCampaign(seed, scale, fc)
-}
-
-// RunShardedCampaign materializes a Campaign through the fleet engine.
-// With fc.Shards == 1 it reproduces RunCampaign exactly; higher shard
-// counts use every core at identical population sizes.
-func RunShardedCampaign(seed int64, scale ScaleConfig, fc FleetConfig) *Campaign {
-	return experiments.RunShardedCampaign(seed, scale, fc)
-}
-
-// GenerateFleetSummary streams one vantage point through the engine's
-// aggregation path, returning the summary and generation ground truth.
-func GenerateFleetSummary(cfg VPConfig, seed int64, fc FleetConfig) (*FleetSummary, FleetStats) {
-	return fleet.Summarize(cfg, seed, fc)
-}
-
-// StreamDataset generates one vantage point through the sharded engine and
-// delivers every record to emit in canonical shard order with bounded
-// buffering — the path for exporting huge trace files without holding them.
-func StreamDataset(cfg VPConfig, seed int64, fc FleetConfig, emit func(*traces.FlowRecord)) FleetStats {
-	return fleet.StreamOrdered(cfg, seed, fc, emit)
-}
 
 // ---------- capability profiles (what-if campaigns) ----------
 
@@ -206,53 +220,12 @@ type WhatIfConfig = experiments.WhatIfConfig
 // the baseline-relative comparison table via Result.
 type WhatIfReport = experiments.WhatIfReport
 
-// RunWhatIf executes a what-if campaign. Every profile's run is
-// bit-reproducible from (seed, population, shards, profile), and the two
-// Dropbox presets reproduce the legacy Version-based campaign output
-// exactly.
-func RunWhatIf(cfg WhatIfConfig) *WhatIfReport {
-	return experiments.RunWhatIf(cfg)
-}
-
-// AllExperiments regenerates every campaign-level table and figure in
-// paper order (packet-level labs are separate; see PerformanceLab and
-// Testbed).
-func AllExperiments(c *Campaign) []*Result {
-	return experiments.All(c)
-}
-
-// Table4 regenerates the before/after bundling comparison (two Campus 1
-// campaigns: Mar/Apr with client 1.2.52, Jun/Jul with 1.4.0).
-func Table4(seed int64, scale float64) *Result {
-	return experiments.Table4(seed, scale)
-}
-
-// PerformanceLab runs the packet-level storage experiments behind Figs. 9
-// and 10: stratified flow sizes through the real protocol over simulated
-// TCP, measured by the passive probe. quick trades coverage for speed.
-func PerformanceLab(quick bool) (fig9, fig10 *Result) {
-	store := experiments.DefaultPacketLab(false)
-	retr := experiments.DefaultPacketLab(true)
-	if quick {
-		store = experiments.QuickPacketLab(false)
-		retr = experiments.QuickPacketLab(true)
-	}
-	return experiments.RunPacketLabs(store, retr)
-}
-
-// Testbed runs the decrypting-proxy-equivalent dissection: one client
-// against the full service with protocol message logging (Fig. 1) and
-// annotated packet traces (Fig. 19).
-func Testbed(seed int64) (fig1, fig19 *Result) {
-	tb := experiments.RunTestbed(seed)
-	return tb.Figure1, tb.Figure19
-}
+// ---------- exports ----------
 
 // SaveTraces writes a dataset's flow records as anonymized CSV, the format
 // of the paper's public release.
 func SaveTraces(ds *Dataset, w io.Writer) error {
-	tw := traces.NewWriter(w)
-	tw.Anonymize = true
+	tw := NewTraceWriter(w)
 	for _, r := range ds.Records {
 		if err := tw.Write(r); err != nil {
 			return err
@@ -262,29 +235,38 @@ func SaveTraces(ds *Dataset, w io.Writer) error {
 }
 
 // WriteResults renders results into dir, one text file per experiment,
-// plus an index.
+// plus an index. Each file carries the result's title and rendered text,
+// the ordered provenance metadata a registry Run attaches, and the named
+// metrics in sorted-key order.
 func WriteResults(dir string, results []*Result) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	var index []byte
+	var index strings.Builder
+	var body strings.Builder
 	for _, r := range results {
-		name := filepath.Join(dir, r.ID+".txt")
-		body := r.Title + "\n\n" + r.Text
-		if len(r.Metrics) > 0 {
-			body += "\nmetrics:\n"
-			for _, k := range sortedKeys(r.Metrics) {
-				body += fmt.Sprintf("  %s = %.6g\n", k, r.Metrics[k])
+		body.Reset()
+		body.Grow(len(r.Title) + len(r.Text) + 64*(len(r.Meta)+len(r.Metrics)) + 32)
+		body.WriteString(r.Title)
+		body.WriteString("\n\n")
+		body.WriteString(r.Text)
+		if len(r.Meta) > 0 {
+			body.WriteString("\nmeta:\n")
+			for _, m := range r.Meta {
+				fmt.Fprintf(&body, "  %s = %s\n", m.Key, m.Value)
 			}
 		}
-		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+		if len(r.Metrics) > 0 {
+			body.WriteString("\nmetrics:\n")
+			for _, k := range analysis.SortedKeys(r.Metrics) {
+				fmt.Fprintf(&body, "  %s = %.6g\n", k, r.Metrics[k])
+			}
+		}
+		name := filepath.Join(dir, r.ID+".txt")
+		if err := os.WriteFile(name, []byte(body.String()), 0o644); err != nil {
 			return err
 		}
-		index = append(index, fmt.Sprintf("%s\t%s\n", r.ID, r.Title)...)
+		fmt.Fprintf(&index, "%s\t%s\n", r.ID, r.Title)
 	}
-	return os.WriteFile(filepath.Join(dir, "INDEX.txt"), index, 0o644)
-}
-
-func sortedKeys(m map[string]float64) []string {
-	return analysis.SortedKeys(m)
+	return os.WriteFile(filepath.Join(dir, "INDEX.txt"), []byte(index.String()), 0o644)
 }

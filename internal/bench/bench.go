@@ -21,6 +21,7 @@ package bench
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -91,11 +92,13 @@ type Options struct {
 
 // scenario is one catalogue entry. run executes the workload and returns
 // the records processed and bytes written (0 when not a serializer);
-// setup, when present, prepares inputs outside the measured region.
+// setup, when present, prepares inputs outside the measured region. The
+// context is the harness run's: scenarios pass it to the engine entry
+// points so an interrupted bench tears down at shard granularity.
 type scenario struct {
 	name  string
 	setup func(quick bool)
-	run   func(quick bool) (records, bytes int64)
+	run   func(ctx context.Context, quick bool) (records, bytes int64)
 }
 
 // catalogue returns the fixed scenario set, in execution order.
@@ -120,8 +123,11 @@ func ScenarioNames() []string {
 	return names
 }
 
-// Run executes the catalogue and assembles the report.
-func Run(opts Options) *Report {
+// Run executes the catalogue and assembles the report. Cancelling ctx
+// stops between scenarios, between a scenario's repetitions, and
+// mid-repetition at fleet-shard granularity on the sharded scenarios;
+// the partial report covers the scenarios that completed.
+func Run(ctx context.Context, opts Options) *Report {
 	rep := &Report{
 		Schema:         Schema,
 		Rev:            opts.Rev,
@@ -136,7 +142,16 @@ func Run(opts Options) *Report {
 		if opts.Filter != nil && !opts.Filter(sc.name) {
 			continue
 		}
-		res := measure(sc, opts.Quick)
+		if ctx.Err() != nil {
+			break
+		}
+		res := measure(ctx, sc, opts.Quick)
+		if ctx.Err() != nil {
+			// The scenario was interrupted mid-workload: its counts and
+			// rates are partial garbage, so keep it out of the report
+			// (the contract is "scenarios that completed").
+			break
+		}
 		rep.Scenarios = append(rep.Scenarios, res)
 		if opts.Log != nil {
 			fmt.Fprintf(opts.Log, "%-28s %9.0f rec/s  %6.2f allocs/rec  %8.1f B-alloc/rec%s\n",
@@ -157,7 +172,7 @@ func mbCol(r ScenarioResult) string {
 
 // measure runs one scenario under MemStats bracketing; setup work happens
 // before the bracket so only the workload itself is measured.
-func measure(sc scenario, quick bool) ScenarioResult {
+func measure(ctx context.Context, sc scenario, quick bool) ScenarioResult {
 	if sc.setup != nil {
 		sc.setup(quick)
 	}
@@ -165,7 +180,7 @@ func measure(sc scenario, quick bool) ScenarioResult {
 	var m0, m1 runtime.MemStats
 	runtime.ReadMemStats(&m0)
 	t0 := time.Now()
-	records, bytes := sc.run(quick)
+	records, bytes := sc.run(ctx, quick)
 	dt := time.Since(t0)
 	runtime.ReadMemStats(&m1)
 
@@ -199,11 +214,14 @@ func scalesFor(quick bool) (float64, int) {
 
 // runGenerate measures raw single-shard generation: the legacy sequential
 // hot path, streaming into a counting sink.
-func runGenerate(quick bool) (int64, int64) {
+func runGenerate(ctx context.Context, quick bool) (int64, int64) {
 	scale, reps := scalesFor(quick)
 	cfg := workload.Home1(scale)
 	var n int64
 	for i := 0; i < reps; i++ {
+		if ctx.Err() != nil {
+			break
+		}
 		workload.GenerateShard(cfg, benchSeed, 0, 1, func(r *traces.FlowRecord) { n++ })
 	}
 	return n, 0
@@ -211,12 +229,15 @@ func runGenerate(quick bool) (int64, int64) {
 
 // runFleet8 measures the sharded streaming aggregation path: 8 shards
 // folded into a fleet.Summary.
-func runFleet8(quick bool) (int64, int64) {
+func runFleet8(ctx context.Context, quick bool) (int64, int64) {
 	scale, reps := scalesFor(quick)
 	cfg := workload.Home1(scale)
 	var n int64
 	for i := 0; i < reps; i++ {
-		_, stats := fleet.Summarize(cfg, benchSeed, fleet.Config{Shards: 8})
+		_, stats, err := fleet.Summarize(ctx, cfg, benchSeed, fleet.Config{Shards: 8})
+		if err != nil {
+			break
+		}
 		n += int64(stats.Records)
 	}
 	return n, 0
@@ -224,7 +245,7 @@ func runFleet8(quick bool) (int64, int64) {
 
 // runWhatIf measures the capability what-if engine: one population
 // replayed under the two historical Dropbox profiles.
-func runWhatIf(quick bool) (int64, int64) {
+func runWhatIf(ctx context.Context, quick bool) (int64, int64) {
 	scale := 0.5
 	if quick {
 		scale = 0.1
@@ -233,12 +254,15 @@ func runWhatIf(quick bool) (int64, int64) {
 	if err != nil {
 		panic(err)
 	}
-	rep := experiments.RunWhatIf(experiments.WhatIfConfig{
+	rep, err := experiments.WhatIfConfig{
 		Seed:     benchSeed,
 		VP:       workload.Campus1(scale),
 		Fleet:    fleet.Config{Shards: 4},
 		Profiles: profiles,
-	})
+	}.Run(ctx)
+	if err != nil {
+		return 0, 0
+	}
 	var n int64
 	for _, run := range rep.Runs {
 		n += int64(run.Stats.Records)
@@ -279,11 +303,14 @@ func (c *countWriter) Write(p []byte) (int, error) {
 
 // runSerializeCSV measures the anonymized CSV writer against a
 // pre-generated in-memory dataset.
-func runSerializeCSV(quick bool) (int64, int64) {
+func runSerializeCSV(ctx context.Context, quick bool) (int64, int64) {
 	ds, reps := serializeDataset(quick)
 	var cw countWriter
 	var n int64
 	for i := 0; i < reps; i++ {
+		if ctx.Err() != nil {
+			break
+		}
 		w := traces.NewWriter(&cw)
 		w.Anonymize = true
 		for _, r := range ds.Records {
@@ -301,11 +328,14 @@ func runSerializeCSV(quick bool) (int64, int64) {
 
 // runSerializeBinary measures the binary columnar writer on the same
 // dataset as runSerializeCSV.
-func runSerializeBinary(quick bool) (int64, int64) {
+func runSerializeBinary(ctx context.Context, quick bool) (int64, int64) {
 	ds, reps := serializeDataset(quick)
 	var cw countWriter
 	var n int64
 	for i := 0; i < reps; i++ {
+		if ctx.Err() != nil {
+			break
+		}
 		w := traces.NewBinaryWriter(&cw)
 		w.Anonymize = true
 		for _, r := range ds.Records {
@@ -322,22 +352,29 @@ func runSerializeBinary(quick bool) (int64, int64) {
 }
 
 // runExportBinary measures the flagship end-to-end path: 8-shard ordered
-// streaming straight into the binary writer, nothing materialized.
-func runExportBinary(quick bool) (int64, int64) {
+// streaming through the Records iterator straight into the binary writer,
+// nothing materialized.
+func runExportBinary(ctx context.Context, quick bool) (int64, int64) {
 	scale, reps := scalesFor(quick)
 	reps = (reps + 1) / 2
 	cfg := workload.Home1(scale)
 	var cw countWriter
 	var n int64
 	for i := 0; i < reps; i++ {
+		if ctx.Err() != nil {
+			break
+		}
 		w := traces.NewBinaryWriter(&cw)
 		w.Anonymize = true
-		fleet.StreamOrdered(cfg, benchSeed, fleet.Config{Shards: 8}, func(r *traces.FlowRecord) {
+		for r, err := range fleet.Records(ctx, cfg, benchSeed, fleet.Config{Shards: 8}) {
+			if err != nil {
+				return n, cw.n
+			}
 			if err := w.Write(r); err != nil {
 				panic(err)
 			}
 			n++
-		})
+		}
 		if err := w.Flush(); err != nil {
 			panic(err)
 		}

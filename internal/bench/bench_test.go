@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -11,7 +12,7 @@ import (
 // scale: the harness must produce populated, internally consistent
 // measurements.
 func TestRunSerializeScenarios(t *testing.T) {
-	rep := Run(Options{
+	rep := Run(context.Background(), Options{
 		Quick:  true,
 		Rev:    "test",
 		Filter: func(name string) bool { return strings.HasPrefix(name, "serialize/") },

@@ -1,0 +1,192 @@
+// Package cli is the shared command-line surface of the repo's binaries:
+// one flag vocabulary bound to the facade's Spec, one vantage-point
+// resolver, one progress printer and one signal-aware context, so
+// cmd/experiments, cmd/dropsim and cmd/bench parse and behave alike
+// instead of growing private flag dialects.
+package cli
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"path"
+	"strings"
+	"syscall"
+	"time"
+
+	"insidedropbox"
+)
+
+// SignalContext returns a context cancelled by SIGINT/SIGTERM, so a ^C
+// tears campaigns down at fleet-shard granularity instead of killing the
+// process mid-write. A second signal kills the process immediately
+// (signal.NotifyContext semantics).
+func SignalContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}
+
+// SpecFlags binds the shared campaign flag vocabulary onto a FlagSet and
+// resolves it into a Spec. Commands bind it once, parse, then call Spec.
+type SpecFlags struct {
+	fs         *flag.FlagSet
+	seed       *int64
+	quick      *bool
+	skipPacket *bool
+	shards     *int
+	workers    *int
+	only       *string
+	fleetScale *float64
+	whatif     *bool
+	profiles   *string
+	out        *string
+}
+
+// BindSpec registers the shared campaign flags on fs.
+func BindSpec(fs *flag.FlagSet) *SpecFlags {
+	return &SpecFlags{
+		fs:         fs,
+		seed:       fs.Int64("seed", 2012, "campaign random seed"),
+		quick:      fs.Bool("quick", false, "small populations and packet labs"),
+		skipPacket: fs.Bool("skip-packet", false, "skip the packet-level labs (Figs. 1, 9, 10, 19)"),
+		shards:     fs.Int("shards", 1, "population shards per vantage point (1 = historical datasets)"),
+		workers:    fs.Int("workers", 0, "concurrent shard workers (0 = GOMAXPROCS; never changes results)"),
+		only:       fs.String("only", "", "comma-separated experiment IDs or globs (e.g. table3,figure*); empty = default catalogue"),
+		fleetScale: fs.Float64("fleet-scale", 0, "also run the streaming fleet lab at this device multiplier (0 = off)"),
+		whatif:     fs.Bool("whatif", false, "run the capability what-if lab (Campus 1 under -profiles)"),
+		profiles: fs.String("profiles", strings.Join(insidedropbox.CapabilityNames(), ","),
+			"comma-separated capability profiles for the what-if lab (first = baseline; setting this opts the lab in)"),
+		out: fs.String("out", "results", "output directory for rendered results"),
+	}
+}
+
+// Spec resolves the parsed flags into a Spec (profile parsing errors
+// surface here, after flag.Parse).
+func (f *SpecFlags) Spec() (insidedropbox.Spec, error) {
+	spec := insidedropbox.Spec{
+		Seed:       *f.seed,
+		Quick:      *f.quick,
+		SkipPacket: *f.skipPacket,
+		Fleet:      insidedropbox.FleetConfig{Shards: *f.shards, Workers: *f.workers},
+		FleetScale: *f.fleetScale,
+		ResultsDir: *f.out,
+	}
+	if *f.only != "" {
+		spec.Experiments = SplitPatterns(*f.only)
+		// An explicit selection suppresses the Spec's opt-in defaulting,
+		// so flags that ask for a lab must join it here instead of being
+		// silently ignored.
+		if *f.whatif {
+			spec.Experiments = append(spec.Experiments, "whatif")
+		}
+		if *f.fleetScale > 0 {
+			spec.Experiments = append(spec.Experiments, "fleet")
+		}
+	}
+	// Profiles apply when the what-if lab was asked for (-whatif) or when
+	// the user explicitly passed -profiles — e.g. alongside `-only whatif`,
+	// where the flag would otherwise be silently ignored. (Setting
+	// Spec.Profiles also opts the lab into a default selection, so the
+	// default -profiles value must not apply unasked.)
+	profilesWanted := *f.whatif
+	f.fs.Visit(func(fl *flag.Flag) {
+		if fl.Name == "profiles" {
+			profilesWanted = true
+		}
+	})
+	if profilesWanted {
+		profiles, err := insidedropbox.ParseProfiles(*f.profiles)
+		if err != nil {
+			return spec, err
+		}
+		spec.Profiles = profiles
+	}
+	return spec, nil
+}
+
+// Exit terminates the process after a run error: exit 130 for an
+// interrupted context (so scripts can distinguish ^C from real failures),
+// 1 otherwise. Shared by every binary so they behave alike.
+func Exit(ctx context.Context, what string, err error) {
+	if errors.Is(err, ctx.Err()) && ctx.Err() != nil {
+		fmt.Fprintf(os.Stderr, "%s: interrupted: %v\n", what, err)
+		os.Exit(130)
+	}
+	fmt.Fprintf(os.Stderr, "%s: %v\n", what, err)
+	os.Exit(1)
+}
+
+// SplitPatterns splits a comma-separated pattern list, trimming blanks.
+func SplitPatterns(list string) []string {
+	var out []string
+	for _, p := range strings.Split(list, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Matcher compiles a comma-separated list of glob patterns into a
+// predicate. Patterns without glob metacharacters match as substrings
+// (the historical -scenarios contract); an empty list matches everything.
+func Matcher(list string) func(string) bool {
+	patterns := SplitPatterns(list)
+	if len(patterns) == 0 {
+		return func(string) bool { return true }
+	}
+	return func(name string) bool {
+		for _, p := range patterns {
+			if strings.ContainsAny(p, "*?[") {
+				if ok, err := path.Match(p, name); err == nil && ok {
+					return true
+				}
+			} else if strings.Contains(name, p) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// VantageNames lists the resolvable vantage point names.
+func VantageNames() []string {
+	return []string{"campus1", "campus1-junjul", "campus2", "home1", "home2"}
+}
+
+// VantagePoint resolves a vantage point name and population scale into
+// its calibrated config.
+func VantagePoint(name string, scale float64) (insidedropbox.VPConfig, error) {
+	switch name {
+	case "campus1":
+		return insidedropbox.Campus1(scale), nil
+	case "campus1-junjul":
+		return insidedropbox.Campus1JunJul(scale), nil
+	case "campus2":
+		return insidedropbox.Campus2(scale), nil
+	case "home1":
+		return insidedropbox.Home1(scale), nil
+	case "home2":
+		return insidedropbox.Home2(scale), nil
+	}
+	return insidedropbox.VPConfig{}, fmt.Errorf("unknown vantage point %q (valid: %s)",
+		name, strings.Join(VantageNames(), ", "))
+}
+
+// Progress returns a Spec progress observer that prints one line per
+// experiment to w, with per-experiment wall-clock on completion.
+func Progress(w io.Writer) func(insidedropbox.Progress) {
+	starts := map[string]time.Time{}
+	return func(p insidedropbox.Progress) {
+		if !p.Done {
+			starts[p.ID] = time.Now()
+			fmt.Fprintf(w, "[%2d/%d] %-10s %s ...\n", p.Index, p.Total, p.ID, p.Title)
+			return
+		}
+		fmt.Fprintf(w, "[%2d/%d] %-10s done in %v\n",
+			p.Index, p.Total, p.ID, time.Since(starts[p.ID]).Round(time.Millisecond))
+	}
+}

@@ -22,6 +22,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -43,6 +44,21 @@ type Result struct {
 	Title   string
 	Text    string
 	Metrics map[string]float64
+
+	// Meta is ordered provenance metadata (seed, scale, shards, ...)
+	// attached by the Run orchestration. Renderers honor insertion order;
+	// legacy drivers leave it nil, keeping their output byte-identical.
+	Meta []MetaEntry
+}
+
+// MetaEntry is one ordered provenance key/value pair on a Result.
+type MetaEntry struct {
+	Key, Value string
+}
+
+// AddMeta appends one provenance entry, preserving insertion order.
+func (r *Result) AddMeta(key, value string) {
+	r.Meta = append(r.Meta, MetaEntry{Key: key, Value: value})
 }
 
 func newResult(id, title string) *Result {
@@ -100,33 +116,50 @@ func vpConfigs(sc ScaleConfig) []workload.VPConfig {
 	}
 }
 
-// RunCampaign generates all four vantage points. The datasets are identical
-// to the historical sequential generator output (the fleet engine runs one
-// shard per vantage point); the vantage points themselves generate
-// concurrently.
-func RunCampaign(seed int64, sc ScaleConfig) *Campaign {
-	return RunShardedCampaign(seed, sc, fleet.Config{Shards: 1})
-}
-
-// RunShardedCampaign materializes a campaign through the fleet engine: each
+// NewCampaign materializes a campaign through the fleet engine: each
 // vantage point's population is split into fc.Shards deterministic shards
 // generated on fc.Workers workers, and the four vantage points run
-// concurrently. fc.Shards == 1 reproduces RunCampaign exactly; higher shard
-// counts trade sample identity for multi-core wall-clock speed at identical
-// population sizes.
-func RunShardedCampaign(seed int64, sc ScaleConfig, fc fleet.Config) *Campaign {
+// concurrently. fc.Shards == 1 reproduces the historical sequential
+// generator output exactly; higher shard counts trade sample identity for
+// multi-core wall-clock speed at identical population sizes.
+//
+// Cancelling ctx aborts generation at fleet-shard granularity and returns
+// ctx.Err() with a nil campaign.
+func NewCampaign(ctx context.Context, seed int64, sc ScaleConfig, fc fleet.Config) (*Campaign, error) {
 	cfgs := vpConfigs(sc)
 	datasets := make([]*workload.Dataset, len(cfgs))
+	errs := make([]error, len(cfgs))
 	var wg sync.WaitGroup
 	for i, cfg := range cfgs {
 		wg.Add(1)
 		go func(i int, cfg workload.VPConfig) {
 			defer wg.Done()
-			datasets[i] = fleet.Dataset(cfg, seed+int64(i)+1, fc)
+			datasets[i], errs[i] = fleet.Dataset(ctx, cfg, seed+int64(i)+1, fc)
 		}(i, cfg)
 	}
 	wg.Wait()
-	return &Campaign{Seed: seed, Datasets: datasets}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Campaign{Seed: seed, Datasets: datasets}, nil
+}
+
+// RunCampaign generates all four vantage points.
+//
+// Deprecated: RunCampaign is the pre-context entry point, kept bit-
+// identical. Use NewCampaign (cancellable, error-returning).
+func RunCampaign(seed int64, sc ScaleConfig) *Campaign {
+	return RunShardedCampaign(seed, sc, fleet.Config{Shards: 1})
+}
+
+// RunShardedCampaign materializes a campaign through the fleet engine.
+//
+// Deprecated: use NewCampaign.
+func RunShardedCampaign(seed int64, sc ScaleConfig, fc fleet.Config) *Campaign {
+	c, _ := NewCampaign(context.Background(), seed, sc, fc)
+	return c
 }
 
 // ---------- shared helpers ----------

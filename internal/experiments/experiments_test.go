@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -300,7 +301,10 @@ func TestPacketLabsQuick(t *testing.T) {
 	}
 	store := QuickPacketLab(false)
 	retr := QuickPacketLab(true)
-	fig9, fig10 := RunPacketLabs(store, retr)
+	fig9, fig10, err := RunPacketLabs(context.Background(), store, retr)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if fig9.Metrics["n_store"] < 10 || fig9.Metrics["n_retrieve"] < 10 {
 		t.Fatalf("too few lab flows: %+v", fig9.Metrics)
 	}
@@ -322,7 +326,10 @@ func TestPacketLabsQuick(t *testing.T) {
 }
 
 func TestTestbedDissection(t *testing.T) {
-	tb := RunTestbed(5)
+	tb, err := RunTestbed(context.Background(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := 0; i < 5; i++ {
 		if tb.Figure1.Metrics[strings.Join([]string{"has", string(rune('0' + i))}, "_")] != 1 {
 			t.Errorf("figure 1 missing protocol message %d:\n%s", i, tb.Figure1.Text)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -66,8 +67,10 @@ func QuickPacketLab(retrieve bool) PacketLabConfig {
 }
 
 // RunPacketLab executes the lab and returns the probe's flow records for
-// storage flows, annotated with the lab's path RTT.
-func RunPacketLab(cfg PacketLabConfig) []*traces.FlowRecord {
+// storage flows, annotated with the lab's path RTT. Cancelling ctx stops
+// the simulation at its next bounded slice (a few minutes of virtual
+// time, milliseconds of wall clock) and returns ctx.Err().
+func RunPacketLab(ctx context.Context, cfg PacketLabConfig) ([]*traces.FlowRecord, error) {
 	sched := simtime.NewScheduler()
 	rng := simrand.New(cfg.Seed, "packetlab")
 	net := netem.New(sched, rng)
@@ -233,9 +236,13 @@ func RunPacketLab(cfg PacketLabConfig) []*traces.FlowRecord {
 		sched.After(time.Duration(i)*200*time.Millisecond, func() { runSpec(lc, queue) })
 	}
 	// The probe's sweep ticker keeps the scheduler populated forever, so
-	// drive the simulation in bounded slices until all specs complete.
+	// drive the simulation in bounded slices until all specs complete; the
+	// slice boundaries double as the cancellation points.
 	const labCap = 24 * time.Hour
 	for remaining > 0 && sched.Now() < simtime.Time(labCap) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		sched.RunFor(5 * time.Minute)
 	}
 	sched.RunFor(2 * time.Minute) // let trailing teardowns settle
@@ -247,7 +254,7 @@ func RunPacketLab(cfg PacketLabConfig) []*traces.FlowRecord {
 			storage = append(storage, r)
 		}
 	}
-	return storage
+	return storage, nil
 }
 
 // chunkGroup labels a flow by its estimated chunk count, as Fig. 9 does.
@@ -403,11 +410,17 @@ func Figure10(storeRecs, retrRecs []*traces.FlowRecord) *Result {
 }
 
 // RunPacketLabs executes both labs and renders Figs. 9 and 10.
-func RunPacketLabs(store, retr PacketLabConfig) (fig9, fig10 *Result) {
-	storeRecs := RunPacketLab(store)
-	retrRecs := RunPacketLab(retr)
+func RunPacketLabs(ctx context.Context, store, retr PacketLabConfig) (fig9, fig10 *Result, err error) {
+	storeRecs, err := RunPacketLab(ctx, store)
+	if err != nil {
+		return nil, nil, err
+	}
+	retrRecs, err := RunPacketLab(ctx, retr)
+	if err != nil {
+		return nil, nil, err
+	}
 	rtt := 2*store.CoreDelay + time.Millisecond
 	fig9 = Figure9(storeRecs, retrRecs, rtt, store.ServerIW)
 	fig10 = Figure10(storeRecs, retrRecs)
-	return fig9, fig10
+	return fig9, fig10, nil
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -35,25 +36,44 @@ func (r *FleetReport) ByName(name string) *FleetVP {
 	return nil
 }
 
-// RunFleetCampaign streams all four vantage points through the sharded
-// engine with per-shard Summary aggregators. Unlike RunCampaign /
-// RunShardedCampaign, nothing is materialized: memory stays bounded while
+// RunFleet streams all four vantage points through the sharded engine
+// with per-shard Summary aggregators. Unlike the materializing campaign
+// constructors, nothing is accumulated: memory stays bounded while
 // DevicesScale grows the population 10-1000x. Per-VP seeds match the
 // materializing path, so a FleetReport with fc.Shards == 1 describes
-// exactly the datasets RunCampaign would build.
-func RunFleetCampaign(seed int64, sc ScaleConfig, fc fleet.Config) *FleetReport {
+// exactly the datasets NewCampaign would build.
+//
+// Cancelling ctx aborts every vantage point at fleet-shard granularity
+// and returns ctx.Err() with a nil report.
+func RunFleet(ctx context.Context, seed int64, sc ScaleConfig, fc fleet.Config) (*FleetReport, error) {
 	cfgs := vpConfigs(sc)
 	report := &FleetReport{Seed: seed, Config: fc, VPs: make([]*FleetVP, len(cfgs))}
+	errs := make([]error, len(cfgs))
 	var wg sync.WaitGroup
 	for i, cfg := range cfgs {
 		wg.Add(1)
 		go func(i int, cfg workload.VPConfig) {
 			defer wg.Done()
-			sum, stats := fleet.Summarize(cfg, seed+int64(i)+1, fc)
+			var sum *fleet.Summary
+			var stats fleet.VPStats
+			sum, stats, errs[i] = fleet.Summarize(ctx, cfg, seed+int64(i)+1, fc)
 			report.VPs[i] = &FleetVP{Stats: stats, Summary: sum}
 		}(i, cfg)
 	}
 	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return report, nil
+}
+
+// RunFleetCampaign streams all four vantage points with bounded memory.
+//
+// Deprecated: use RunFleet (cancellable, error-returning).
+func RunFleetCampaign(seed int64, sc ScaleConfig, fc fleet.Config) *FleetReport {
+	report, _ := RunFleet(context.Background(), seed, sc, fc)
 	return report
 }
 

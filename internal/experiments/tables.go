@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -92,26 +93,34 @@ func Table3(c *Campaign) *Result {
 	return res
 }
 
-// Table4 compares Campus 1 before (Mar/Apr, client 1.2.52, server IW 2)
-// and after (Jun/Jul, client 1.4.0, bundling + tuned IW) — the paper's
-// quantification of the bundling deployment.
-func Table4(seed int64, scale float64) *Result {
+// Table4Context compares Campus 1 before (Mar/Apr, client 1.2.52, server
+// IW 2) and after (Jun/Jul, client 1.4.0, bundling + tuned IW) — the
+// paper's quantification of the bundling deployment. Cancelling ctx aborts
+// both campaigns at fleet-shard granularity.
+func Table4Context(ctx context.Context, seed int64, scale float64) (*Result, error) {
 	res := newResult("table4", "Table 4: Campus 1 before and after the bundling deployment")
 	// Both campaigns route through the fleet engine with one shard, so the
 	// records match the historical sequential generator while the two
 	// populations generate concurrently.
 	var before, after *workload.Dataset
+	var errB, errA error
 	var wg sync.WaitGroup
 	wg.Add(2)
 	go func() {
 		defer wg.Done()
-		before = fleet.Dataset(workload.Campus1(scale), seed+10, fleet.Config{Shards: 1})
+		before, errB = fleet.Dataset(ctx, workload.Campus1(scale), seed+10, fleet.Config{Shards: 1})
 	}()
 	go func() {
 		defer wg.Done()
-		after = fleet.Dataset(workload.Campus1JunJul(scale), seed+11, fleet.Config{Shards: 1})
+		after, errA = fleet.Dataset(ctx, workload.Campus1JunJul(scale), seed+11, fleet.Config{Shards: 1})
 	}()
 	wg.Wait()
+	if errB != nil {
+		return nil, errB
+	}
+	if errA != nil {
+		return nil, errA
+	}
 
 	type stats struct {
 		medSize, avgSize, medTp, avgTp map[classify.Direction]float64
@@ -158,6 +167,14 @@ func Table4(seed int64, scale float64) *Result {
 	res.addText(tb.String())
 	res.addText(fmt.Sprintf("\nretrieve avg throughput improvement: %.0f%% (paper: ≈65%%)\n",
 		100*(res.Metrics["after_avg_tp_retrieve"]/res.Metrics["before_avg_tp_retrieve"]-1)))
+	return res, nil
+}
+
+// Table4 regenerates the bundling before/after comparison.
+//
+// Deprecated: use Table4Context (cancellable, error-returning).
+func Table4(seed int64, scale float64) *Result {
+	res, _ := Table4Context(context.Background(), seed, scale)
 	return res
 }
 

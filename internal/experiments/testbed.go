@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -61,8 +62,9 @@ func (p *packetTap) Capture(now simtime.Time, f *wire.Frame, dir netem.TapDir) {
 }
 
 // RunTestbed stands up the full service, runs one upload and one download
-// through real clients, and renders the protocol dissection.
-func RunTestbed(seed int64) *TestbedResult {
+// through real clients, and renders the protocol dissection. Cancelling
+// ctx stops the simulation at its next bounded slice and returns ctx.Err().
+func RunTestbed(ctx context.Context, seed int64) (*TestbedResult, error) {
 	sched := simtime.NewScheduler()
 	rng := simrand.New(seed, "testbed")
 	net := netem.New(sched, rng)
@@ -108,7 +110,15 @@ func RunTestbed(seed int64) *TestbedResult {
 	sched.After(3*time.Second, func() {
 		up.Upload(acct.Root, refs, func(r chunker.Ref) int { return r.Size }, nil)
 	})
-	sched.RunUntil(simtime.Time(6 * time.Minute))
+	// Drive the session in bounded slices so a cancelled ctx stops the
+	// dissection between slices instead of running the full six minutes.
+	const horizon = 6 * time.Minute
+	for at := 30 * time.Second; at <= horizon; at += 30 * time.Second {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		sched.RunUntil(simtime.Time(at))
+	}
 
 	// ---- Fig. 1: message sequence ----
 	fig1 := newResult("figure1", "Figure 1: The Dropbox protocol (testbed dissection)")
@@ -136,7 +146,7 @@ func RunTestbed(seed int64) *TestbedResult {
 	fig19.addText(renderFlowTrace("(a) store flow", tap.events, wire.MakeIP(10, 10, 0, 1)))
 	fig19.addText(renderFlowTrace("(b) retrieve flow", tap.events, wire.MakeIP(10, 10, 0, 2)))
 	fig19.Metrics["captured_packets"] = float64(len(tap.events))
-	return &TestbedResult{Figure1: fig1, Figure19: fig19}
+	return &TestbedResult{Figure1: fig1, Figure19: fig19}, nil
 }
 
 func msgName(meta any) string {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -109,13 +110,16 @@ func (r *WhatIfReport) ByProfile(name string) *WhatIfRun {
 	return nil
 }
 
-// RunWhatIf executes the what-if campaign: every profile replays the same
+// Run executes the what-if campaign: every profile replays the same
 // vantage-point population through the sharded fleet engine concurrently,
 // aggregated with bounded memory. Determinism: each (seed, population,
 // shards, profile) run is bit-reproducible regardless of worker count or
 // how many profiles run alongside it, and the two Dropbox presets
 // reproduce the legacy Version-based campaign output exactly.
-func RunWhatIf(cfg WhatIfConfig) *WhatIfReport {
+//
+// Cancelling ctx aborts every profile run at fleet-shard granularity and
+// returns ctx.Err() with a nil report.
+func (cfg WhatIfConfig) Run(ctx context.Context) (*WhatIfReport, error) {
 	fc := cfg.Fleet
 	if fc.Workers == 0 && len(cfg.Profiles) > 1 {
 		// Profile runs are themselves parallel; divide the default worker
@@ -124,6 +128,7 @@ func RunWhatIf(cfg WhatIfConfig) *WhatIfReport {
 		fc.Workers = max(1, runtime.GOMAXPROCS(0)/len(cfg.Profiles))
 	}
 	report := &WhatIfReport{Config: cfg, Runs: make([]*WhatIfRun, len(cfg.Profiles))}
+	errs := make([]error, len(cfg.Profiles))
 	var wg sync.WaitGroup
 	for i := range cfg.Profiles {
 		wg.Add(1)
@@ -133,12 +138,27 @@ func RunWhatIf(cfg WhatIfConfig) *WhatIfReport {
 			vp := cfg.VP
 			vp.Caps = &prof
 			days := vp.Days
-			agg, stats := fleet.Aggregate(vp, cfg.Seed, fc,
+			var agg fleet.Aggregator
+			var stats fleet.VPStats
+			agg, stats, errs[i] = fleet.Aggregate(ctx, vp, cfg.Seed, fc,
 				func(int) fleet.Aggregator { return NewWhatIfAgg(days) })
 			report.Runs[i] = &WhatIfRun{Profile: prof, Stats: stats, Agg: agg.(*WhatIfAgg)}
 		}(i)
 	}
 	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return report, nil
+}
+
+// RunWhatIf executes a what-if campaign.
+//
+// Deprecated: use WhatIfConfig.Run (cancellable, error-returning).
+func RunWhatIf(cfg WhatIfConfig) *WhatIfReport {
+	report, _ := cfg.Run(context.Background())
 	return report
 }
 

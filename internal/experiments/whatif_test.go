@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"reflect"
 	"strings"
 	"testing"
@@ -25,7 +26,10 @@ func TestWhatIfPresetMatchesLegacyFleetRun(t *testing.T) {
 	vp := whatIfVP(0.2)
 	fc := fleet.Config{Shards: 2}
 
-	legacySum, legacyStats := fleet.Summarize(vp, 2012, fc)
+	legacySum, legacyStats, err := fleet.Summarize(context.Background(), vp, 2012, fc)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	rep := RunWhatIf(WhatIfConfig{
 		Seed: 2012, VP: vp, Fleet: fc,

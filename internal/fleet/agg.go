@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"context"
 	"math"
 	"time"
 
@@ -26,7 +27,10 @@ type Aggregator interface {
 // MUST NOT retain a record (or its NotifyNamespaces slice) past Consume —
 // copy what you keep. Record contents and aggregates are bit-identical to
 // the unpooled path (pinned by TestPooledShardMatchesUnpooled).
-func Aggregate(vp workload.VPConfig, seed int64, fc Config, newAgg func(shard int) Aggregator) (Aggregator, VPStats) {
+//
+// Cancelling ctx stops the run at shard granularity (in-flight shards
+// finish, nothing new starts) and returns the partial merge with ctx.Err().
+func Aggregate(ctx context.Context, vp workload.VPConfig, seed int64, fc Config, newAgg func(shard int) Aggregator) (Aggregator, VPStats, error) {
 	fc = fc.normalized()
 	vp = fc.apply(vp)
 
@@ -34,7 +38,7 @@ func Aggregate(vp workload.VPConfig, seed int64, fc Config, newAgg func(shard in
 	for i := range aggs {
 		aggs[i] = newAgg(i)
 	}
-	stats := runShards(fc, func(sh int) workload.ShardStats {
+	stats, err := runShards(ctx, fc, func(sh int) workload.ShardStats {
 		agg := aggs[sh]
 		pool := new(RecordPool)
 		return workload.GenerateShardSink(vp, seed, sh, fc.Shards, workload.ShardSink{
@@ -50,7 +54,7 @@ func Aggregate(vp workload.VPConfig, seed int64, fc Config, newAgg func(shard in
 	for _, a := range aggs[1:] {
 		root.Merge(a)
 	}
-	return root, mergeStats(vp, fc, stats)
+	return root, mergeStats(vp, fc, stats), err
 }
 
 // ---------- online histogram / quantile summary ----------
@@ -373,8 +377,8 @@ func (s *Summary) Metrics() map[string]float64 {
 // Summarize is the one-call streaming pipeline: generate a vantage point
 // through the sharded engine and fold every record into a Summary without
 // ever materializing the dataset.
-func Summarize(vp workload.VPConfig, seed int64, fc Config) (*Summary, VPStats) {
+func Summarize(ctx context.Context, vp workload.VPConfig, seed int64, fc Config) (*Summary, VPStats, error) {
 	days := vp.Days
-	agg, stats := Aggregate(vp, seed, fc, func(int) Aggregator { return NewSummary(days) })
-	return agg.(*Summary), stats
+	agg, stats, err := Aggregate(ctx, vp, seed, fc, func(int) Aggregator { return NewSummary(days) })
+	return agg.(*Summary), stats, err
 }

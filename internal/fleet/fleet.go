@@ -34,6 +34,7 @@
 package fleet
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -159,7 +160,11 @@ type VPStats struct {
 // goroutine; each sink then receives exactly its shard's records, from a
 // single worker goroutine. Sinks are returned in shard order so callers can
 // merge deterministically. RunVP itself blocks until every shard finished.
-func RunVP(vp workload.VPConfig, seed int64, fc Config, newSink func(shard int) Sink) (VPStats, []Sink) {
+//
+// Cancelling ctx stops the run at shard granularity: shards already
+// generating finish (at most one per worker), no further shards start, and
+// RunVP returns ctx.Err() with partial stats and partially-filled sinks.
+func RunVP(ctx context.Context, vp workload.VPConfig, seed int64, fc Config, newSink func(shard int) Sink) (VPStats, []Sink, error) {
 	fc = fc.normalized()
 	vp = fc.apply(vp)
 
@@ -167,16 +172,19 @@ func RunVP(vp workload.VPConfig, seed int64, fc Config, newSink func(shard int) 
 	for i := range sinks {
 		sinks[i] = newSink(i)
 	}
-	stats := runShards(fc, func(sh int) workload.ShardStats {
+	stats, err := runShards(ctx, fc, func(sh int) workload.ShardStats {
 		return workload.GenerateShard(vp, seed, sh, fc.Shards, sinks[sh].Consume)
 	})
-	return mergeStats(vp, fc, stats), sinks
+	return mergeStats(vp, fc, stats), sinks, err
 }
 
 // runShards executes runShard for every shard index on a pool of
 // fc.Workers goroutines (fc must already be normalized) and returns the
-// per-shard stats in shard order.
-func runShards(fc Config, runShard func(sh int) workload.ShardStats) []workload.ShardStats {
+// per-shard stats in shard order. When ctx is cancelled, not-yet-started
+// shards are skipped (their stats stay zero) and ctx.Err() is returned;
+// in-flight shards always run to completion so sinks never observe a
+// truncated shard stream.
+func runShards(ctx context.Context, fc Config, runShard func(sh int) workload.ShardStats) ([]workload.ShardStats, error) {
 	stats := make([]workload.ShardStats, fc.Shards)
 	jobs := make(chan int)
 	var wg sync.WaitGroup
@@ -185,6 +193,9 @@ func runShards(fc Config, runShard func(sh int) workload.ShardStats) []workload.
 		go func() {
 			defer wg.Done()
 			for sh := range jobs {
+				if ctx.Err() != nil {
+					continue // drain the queue without generating
+				}
 				stats[sh] = runShard(sh)
 			}
 		}()
@@ -194,7 +205,7 @@ func runShards(fc Config, runShard func(sh int) workload.ShardStats) []workload.
 	}
 	close(jobs)
 	wg.Wait()
-	return stats
+	return stats, ctx.Err()
 }
 
 // mergeStats folds per-shard stats in shard-index order.
@@ -226,9 +237,13 @@ func (b *RecordBuffer) Consume(r *traces.FlowRecord) { b.Records = append(b.Reco
 // Dataset materializes a sharded run as a legacy workload.Dataset: shard
 // buffers are concatenated in shard order and sorted by first-packet time.
 // With fc.Shards == 1 the result is bit-identical to workload.Generate
-// (the regression test pins this).
-func Dataset(vp workload.VPConfig, seed int64, fc Config) *workload.Dataset {
-	stats, sinks := RunVP(vp, seed, fc, func(int) Sink { return &RecordBuffer{} })
+// (the regression test pins this). A cancelled ctx aborts at shard
+// granularity and returns a nil dataset with ctx.Err().
+func Dataset(ctx context.Context, vp workload.VPConfig, seed int64, fc Config) (*workload.Dataset, error) {
+	stats, sinks, err := RunVP(ctx, vp, seed, fc, func(int) Sink { return &RecordBuffer{} })
+	if err != nil {
+		return nil, err
+	}
 	var recs []*traces.FlowRecord
 	if stats.Records > 0 {
 		recs = make([]*traces.FlowRecord, 0, stats.Records)
@@ -244,5 +259,21 @@ func Dataset(vp workload.VPConfig, seed int64, fc Config) *workload.Dataset {
 		YouTubeByDay:      stats.YouTubeByDay,
 		DropboxHouseholds: stats.Households,
 		DropboxDevices:    stats.Devices,
+	}, nil
+}
+
+// WriterSink adapts a traces.RecordWriter into a Sink: records stream
+// straight into the serialization with no intermediate buffering. The
+// first write error latches into Err and suppresses all further writes,
+// so a sink on a streaming path can be drained safely after a failure.
+type WriterSink struct {
+	W   traces.RecordWriter
+	Err error
+}
+
+// Consume implements Sink.
+func (s *WriterSink) Consume(r *traces.FlowRecord) {
+	if s.Err == nil {
+		s.Err = s.W.Write(r)
 	}
 }

@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"reflect"
@@ -12,13 +13,34 @@ import (
 	"insidedropbox/internal/workload"
 )
 
+// mustDataset / mustSummarize run the ctx-aware engine entry points under
+// a background context, failing the test on the (impossible without
+// cancellation) error path.
+func mustDataset(tb testing.TB, cfg workload.VPConfig, seed int64, fc Config) *workload.Dataset {
+	tb.Helper()
+	ds, err := Dataset(context.Background(), cfg, seed, fc)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return ds
+}
+
+func mustSummarize(tb testing.TB, cfg workload.VPConfig, seed int64, fc Config) (*Summary, VPStats) {
+	tb.Helper()
+	sum, stats, err := Summarize(context.Background(), cfg, seed, fc)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return sum, stats
+}
+
 // TestOneShardMatchesLegacyGenerate pins the regression contract: a 1-shard
 // fleet run reproduces the sequential workload.Generate output bit for bit,
 // whatever the worker setting.
 func TestOneShardMatchesLegacyGenerate(t *testing.T) {
 	cfg := workload.Home1(0.03)
 	legacy := workload.Generate(cfg, 42)
-	fl := Dataset(cfg, 42, Config{Shards: 1, Workers: 4})
+	fl := mustDataset(t, cfg, 42, Config{Shards: 1, Workers: 4})
 
 	if len(fl.Records) != len(legacy.Records) {
 		t.Fatalf("record counts differ: fleet %d vs legacy %d", len(fl.Records), len(legacy.Records))
@@ -50,8 +72,8 @@ func TestWorkerCountInvariance(t *testing.T) {
 	var baseMetrics map[string]float64
 	for _, w := range workers {
 		fc := Config{Shards: shards, Workers: w}
-		ds := Dataset(cfg, 9, fc)
-		sum, stats := Summarize(cfg, 9, fc)
+		ds := mustDataset(t, cfg, 9, fc)
+		sum, stats := mustSummarize(t, cfg, 9, fc)
 		if stats.Records != len(ds.Records) {
 			t.Fatalf("workers=%d: stats records %d != dataset %d", w, stats.Records, len(ds.Records))
 		}
@@ -88,7 +110,7 @@ func TestStreamOrderedMatchesDataset(t *testing.T) {
 		t.Fatalf("stats records %d != streamed %d", stats.Records, len(streamed))
 	}
 
-	ds := Dataset(cfg, 3, fc)
+	ds := mustDataset(t, cfg, 3, fc)
 	if len(ds.Records) != len(streamed) {
 		t.Fatalf("streamed %d records, dataset has %d", len(streamed), len(ds.Records))
 	}
@@ -105,8 +127,8 @@ func TestStreamOrderedMatchesDataset(t *testing.T) {
 // headline aggregates stay in the same regime.
 func TestShardingChangesSampleNotScale(t *testing.T) {
 	cfg := workload.Home1(0.03)
-	s1, st1 := Summarize(cfg, 11, Config{Shards: 1})
-	s8, st8 := Summarize(cfg, 11, Config{Shards: 8})
+	s1, st1 := mustSummarize(t, cfg, 11, Config{Shards: 1})
+	s8, st8 := mustSummarize(t, cfg, 11, Config{Shards: 8})
 	if st1.Cfg.TotalIPs != st8.Cfg.TotalIPs {
 		t.Fatalf("population size changed with shard count: %d vs %d", st1.Cfg.TotalIPs, st8.Cfg.TotalIPs)
 	}
@@ -165,11 +187,11 @@ func TestShardSeedsDecorrelated(t *testing.T) {
 
 func TestDevicesScale(t *testing.T) {
 	cfg := workload.Home1(0.02)
-	_, stats := Summarize(cfg, 5, Config{Shards: 4, DevicesScale: 3})
+	_, stats := mustSummarize(t, cfg, 5, Config{Shards: 4, DevicesScale: 3})
 	if want := cfg.TotalIPs * 3; stats.Cfg.TotalIPs != want {
 		t.Fatalf("DevicesScale=3: TotalIPs = %d, want %d", stats.Cfg.TotalIPs, want)
 	}
-	_, unscaled := Summarize(cfg, 5, Config{Shards: 4})
+	_, unscaled := mustSummarize(t, cfg, 5, Config{Shards: 4})
 	if unscaled.Cfg.TotalIPs != cfg.TotalIPs {
 		t.Fatalf("default scale changed population: %d vs %d", unscaled.Cfg.TotalIPs, cfg.TotalIPs)
 	}
@@ -197,7 +219,7 @@ func TestSubscriberIPsDistinctAtScale(t *testing.T) {
 // clamps to workload.MaxShards instead of letting uint32 namespace blocks
 // wrap and collide.
 func TestShardCapEnforced(t *testing.T) {
-	_, stats := Summarize(workload.Campus1(0.05), 1, Config{Shards: workload.MaxShards * 4})
+	_, stats := mustSummarize(t, workload.Campus1(0.05), 1, Config{Shards: workload.MaxShards * 4})
 	if stats.Shards != workload.MaxShards {
 		t.Fatalf("shards = %d, want clamped to %d", stats.Shards, workload.MaxShards)
 	}
@@ -267,7 +289,7 @@ func TestAggregateScalesWithBoundedMemory(t *testing.T) {
 	}
 	cfg := workload.Home1(0.05)
 	fc := Config{Shards: 4 * runtime.GOMAXPROCS(0), DevicesScale: 10}
-	sum, stats := Summarize(cfg, 2012, fc)
+	sum, stats := mustSummarize(t, cfg, 2012, fc)
 	if stats.Cfg.TotalIPs < 9000 {
 		t.Fatalf("population too small for a scale test: %d IPs", stats.Cfg.TotalIPs)
 	}
@@ -285,10 +307,13 @@ func TestAggregateScalesWithBoundedMemory(t *testing.T) {
 func TestRunVPSinkPerShard(t *testing.T) {
 	cfg := workload.Campus1(0.1)
 	var made []int
-	_, sinks := RunVP(cfg, 1, Config{Shards: 6, Workers: 2}, func(sh int) Sink {
+	_, sinks, err := RunVP(context.Background(), cfg, 1, Config{Shards: 6, Workers: 2}, func(sh int) Sink {
 		made = append(made, sh)
 		return &countingSink{}
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if want := []int{0, 1, 2, 3, 4, 5}; !reflect.DeepEqual(made, want) {
 		t.Fatalf("sinks built as %v, want %v", made, want)
 	}
@@ -317,7 +342,7 @@ func BenchmarkShardedGeneration(b *testing.B) {
 		for _, shards := range []int{4, 16} {
 			b.Run(fmt.Sprintf("scale=%.2f/shards=%d", scale, shards), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
-					sum, _ := Summarize(cfg, int64(i), Config{Shards: shards})
+					sum, _ := mustSummarize(b, cfg, int64(i), Config{Shards: shards})
 					if sum.Flows == 0 {
 						b.Fatal("empty")
 					}
@@ -336,7 +361,7 @@ func TestPooledAggregateMatchesUnpooled(t *testing.T) {
 	cfg := workload.Home1(0.05)
 	const seed, shards = 7, 4
 
-	got, stats := Summarize(cfg, seed, Config{Shards: shards, Workers: 2})
+	got, stats := mustSummarize(t, cfg, seed, Config{Shards: shards, Workers: 2})
 	if stats.Records == 0 {
 		t.Fatal("no records generated")
 	}

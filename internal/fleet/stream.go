@@ -1,6 +1,10 @@
 package fleet
 
 import (
+	"context"
+	"iter"
+	"sync"
+
 	"insidedropbox/internal/traces"
 	"insidedropbox/internal/workload"
 )
@@ -10,17 +14,36 @@ import (
 // consumer before blocking.
 const streamBuf = 1024
 
-// StreamOrdered runs a sharded generation and delivers every record to emit
-// in canonical order — shard 0's records first (in generation order), then
-// shard 1's, and so on — while shards execute concurrently on the worker
-// pool. emit runs on the calling goroutine.
+// ctxCheckMask amortizes ctx.Err() polling on the consumer loop: the
+// context is checked once every ctxCheckMask+1 records (plus once per
+// drained shard), keeping cancellation latency far below a shard while
+// staying off the per-record hot path.
+const ctxCheckMask = 0xff
+
+// StreamRecords runs a sharded generation and delivers every record to
+// emit in canonical order — shard 0's records first (in generation order),
+// then shard 1's, and so on — while shards execute concurrently on the
+// worker pool. emit runs on the calling goroutine; returning false stops
+// the stream early (no error: a consumer break is a normal outcome).
 //
 // Memory stays bounded regardless of population size: shards are admitted
 // in index order through a window of Workers+1 tokens, so at most
 // Workers+1 shards are generating or parked ahead of the consumer, each
 // buffering at most streamBuf records before its producer blocks. No shard
 // output is ever fully materialized.
-func StreamOrdered(vp workload.VPConfig, seed int64, fc Config, emit func(*traces.FlowRecord)) VPStats {
+//
+// Cancelling ctx (or stopping via emit) halts promptly, bounded by one
+// shard per worker: in-flight shards finish generating with their output
+// discarded, queued shards never start, and every goroutine exits before
+// StreamRecords returns. On cancellation the partial stats are returned
+// with ctx.Err().
+//
+// The returned stats describe generation, not delivery: after an early
+// stop they include the shards that finished generating with discarded
+// output, so stats.Records can exceed the number of records emit
+// received. Count deliveries in the emit callback when that distinction
+// matters; on a full run the two are equal.
+func StreamRecords(ctx context.Context, vp workload.VPConfig, seed int64, fc Config, emit func(*traces.FlowRecord) bool) (VPStats, error) {
 	fc = fc.normalized()
 	vp = fc.apply(vp)
 
@@ -30,42 +53,114 @@ func StreamOrdered(vp workload.VPConfig, seed int64, fc Config, emit func(*trace
 	}
 	stats := make([]workload.ShardStats, fc.Shards)
 
+	// stop tears the pipeline down: the dispatcher quits admitting shards,
+	// and producers blocked on a full channel drop the rest of their
+	// shard's records instead of waiting for a consumer that left.
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	halt := func() { stopOnce.Do(func() { close(stop) }) }
+
 	// Admission happens in shard order on the dispatcher, so the shard the
 	// consumer is waiting on always holds a token and is running: the
 	// window bounds buffering without ever deadlocking.
 	window := make(chan struct{}, fc.Workers+1)
 	jobs := make(chan int)
 	go func() {
+		defer close(jobs)
 		for sh := 0; sh < fc.Shards; sh++ {
-			window <- struct{}{}
-			jobs <- sh
+			select {
+			case window <- struct{}{}:
+			case <-stop:
+				return
+			}
+			select {
+			case jobs <- sh:
+			case <-stop:
+				return
+			}
 		}
-		close(jobs)
 	}()
 
-	done := make(chan struct{})
+	var wg sync.WaitGroup
 	for w := 0; w < fc.Workers; w++ {
+		wg.Add(1)
 		go func() {
+			defer wg.Done()
 			for sh := range jobs {
 				ch := chans[sh]
+				dropping := false
 				stats[sh] = workload.GenerateShard(vp, seed, sh, fc.Shards, func(r *traces.FlowRecord) {
-					ch <- r
+					if dropping {
+						return
+					}
+					select {
+					case ch <- r:
+					case <-stop:
+						dropping = true
+					}
 				})
 				close(ch)
 			}
-			done <- struct{}{}
 		}()
 	}
+	// finish tears the pipeline down (halt is a no-op on the natural-
+	// completion path) and waits for every worker to exit before stats
+	// are merged — workers write stats[sh] until then.
+	finish := func(err error) (VPStats, error) {
+		halt()
+		wg.Wait()
+		return mergeStats(vp, fc, stats), err
+	}
 
+	var n uint
 	for sh := 0; sh < fc.Shards; sh++ {
+		if ctx.Err() != nil {
+			return finish(ctx.Err())
+		}
 		for r := range chans[sh] {
-			emit(r)
+			if n&ctxCheckMask == 0 && ctx.Err() != nil {
+				return finish(ctx.Err())
+			}
+			n++
+			if !emit(r) {
+				return finish(nil)
+			}
 		}
 		<-window // shard fully drained: admit the next one
 	}
-	for w := 0; w < fc.Workers; w++ {
-		<-done
-	}
+	return finish(nil)
+}
 
-	return mergeStats(vp, fc, stats)
+// Records returns the record stream of one vantage point as a Go 1.23+
+// iterator: the streaming abstraction CSV/binary export, aggregation and
+// user analysis all consume. Records are yielded in canonical shard order
+// with bounded buffering; breaking out of the range loop tears the
+// generating workers down cleanly. The final pair carries a nil record and
+// ctx.Err() if the context was cancelled mid-stream; otherwise err is
+// always nil.
+//
+// Records yielded by the iterator remain valid after the loop advances
+// (this path does not pool record storage).
+func Records(ctx context.Context, vp workload.VPConfig, seed int64, fc Config) iter.Seq2[*traces.FlowRecord, error] {
+	return func(yield func(*traces.FlowRecord, error) bool) {
+		_, err := StreamRecords(ctx, vp, seed, fc, func(r *traces.FlowRecord) bool {
+			return yield(r, nil)
+		})
+		if err != nil {
+			yield(nil, err)
+		}
+	}
+}
+
+// StreamOrdered delivers every record to emit in canonical shard order.
+//
+// Deprecated: StreamOrdered is the pre-context callback shape, kept for
+// bit-identical compatibility. Use StreamRecords (cancellable, stoppable)
+// or the Records iterator.
+func StreamOrdered(vp workload.VPConfig, seed int64, fc Config, emit func(*traces.FlowRecord)) VPStats {
+	stats, _ := StreamRecords(context.Background(), vp, seed, fc, func(r *traces.FlowRecord) bool {
+		emit(r)
+		return true
+	})
+	return stats
 }

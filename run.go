@@ -1,0 +1,328 @@
+package insidedropbox
+
+import (
+	"context"
+	"fmt"
+	"iter"
+	"strconv"
+
+	"insidedropbox/internal/experiments"
+	"insidedropbox/internal/fleet"
+)
+
+// Spec is the one description of an experiment run: seed, population
+// scale, fleet sizing, experiment selection and the opt-in lab
+// configuration. The zero value is runnable — it selects the default
+// catalogue (every table and figure) at DefaultScale with one shard per
+// vantage point. Functional options (WithShards, WithProfiles, ...) layer
+// adjustments on top of a Spec literal; both styles set the same fields.
+type Spec struct {
+	// Seed is the campaign seed every vantage point and lab derives from.
+	Seed int64
+
+	// Scale is the per-vantage-point population scaling. The zero value
+	// resolves to DefaultScale (SmallScale when Quick is set).
+	Scale ScaleConfig
+
+	// Fleet sizes the sharded engine used for campaign generation:
+	// Shards changes the drawn population sample (part of the experiment
+	// definition), Workers only wall-clock time.
+	Fleet FleetConfig
+
+	// Experiments selects the catalogue subset to run, as glob-style
+	// patterns over experiment IDs ("table4", "figure*", "figure1?").
+	// Empty means the default selection: every non-opt-in experiment,
+	// plus "whatif" when Profiles is set and "fleet" when FleetScale > 0.
+	Experiments []string
+
+	// Quick shrinks the packet labs and is the cue to default Scale to
+	// SmallScale — the -quick CLI behaviour.
+	Quick bool
+
+	// SkipPacket drops the packet-level experiments (figures 1, 9, 10,
+	// 19) from the selection.
+	SkipPacket bool
+
+	// Profiles configures the "whatif" lab and opts it into the default
+	// selection. Nil leaves the lab opt-in (selected explicitly, it runs
+	// the full preset catalogue).
+	Profiles []CapabilityProfile
+
+	// FleetScale configures the "fleet" lab's device multiplier and opts
+	// it into the default selection when > 0.
+	FleetScale float64
+
+	// ResultsDir, when non-empty, receives the rendered results via
+	// WriteResults after the run completes.
+	ResultsDir string
+
+	// Progress, when non-nil, observes the run: one event as each
+	// experiment starts and one as it completes.
+	Progress func(Progress)
+}
+
+// Progress is one run observation event.
+type Progress struct {
+	// ID and Title identify the experiment.
+	ID, Title string
+	// Index is the experiment's 1-based position of Total selected.
+	Index, Total int
+	// Done is false when the experiment starts, true when it completes.
+	Done bool
+}
+
+// Option adjusts a Spec. Options are applied in order after the Spec
+// literal, so later options win.
+type Option func(*Spec)
+
+// WithSeed sets the campaign seed.
+func WithSeed(seed int64) Option { return func(s *Spec) { s.Seed = seed } }
+
+// WithScale sets the per-vantage-point population scaling.
+func WithScale(sc ScaleConfig) Option { return func(s *Spec) { s.Scale = sc } }
+
+// WithShards routes campaign generation through that many deterministic
+// population shards per vantage point (1 reproduces the historical
+// datasets; the shard count is part of the experiment definition).
+func WithShards(n int) Option { return func(s *Spec) { s.Fleet.Shards = n } }
+
+// WithWorkers bounds the generation worker pool (0 = GOMAXPROCS; worker
+// counts never change results, only wall-clock time).
+func WithWorkers(n int) Option { return func(s *Spec) { s.Fleet.Workers = n } }
+
+// WithExperiments selects the experiments to run, as glob-style patterns
+// over catalogue IDs.
+func WithExperiments(patterns ...string) Option {
+	return func(s *Spec) { s.Experiments = append(s.Experiments, patterns...) }
+}
+
+// WithProfiles configures the capability what-if lab and opts it into the
+// default selection.
+func WithProfiles(profiles ...CapabilityProfile) Option {
+	return func(s *Spec) { s.Profiles = append(s.Profiles, profiles...) }
+}
+
+// WithFleetScale configures the streaming fleet lab's device multiplier
+// and opts it into the default selection.
+func WithFleetScale(scale float64) Option { return func(s *Spec) { s.FleetScale = scale } }
+
+// WithQuick selects small populations and quick packet labs.
+func WithQuick() Option { return func(s *Spec) { s.Quick = true } }
+
+// WithSkipPacket drops the packet-level experiments from the selection.
+func WithSkipPacket() Option { return func(s *Spec) { s.SkipPacket = true } }
+
+// WithProgress installs a run observer.
+func WithProgress(fn func(Progress)) Option { return func(s *Spec) { s.Progress = fn } }
+
+// WithResultsDir writes rendered results to dir after the run.
+func WithResultsDir(dir string) Option { return func(s *Spec) { s.ResultsDir = dir } }
+
+// Experiments returns the full experiment catalogue — every table, figure
+// and lab, each with a unique ID — in presentation order.
+func Experiments() []Experiment { return experiments.Experiments() }
+
+// ExperimentByID resolves one catalogue entry by its exact ID.
+func ExperimentByID(id string) (Experiment, bool) { return experiments.ByID(id) }
+
+// SelectExperiments resolves glob-style patterns against the catalogue
+// (no patterns = the default selection). A pattern matching nothing is an
+// error.
+func SelectExperiments(patterns ...string) ([]Experiment, error) {
+	return experiments.Select(patterns...)
+}
+
+// resolve fills a Spec's defaulted fields and computes its selection.
+func (s Spec) resolve() (Spec, []Experiment, error) {
+	if s.Scale == (ScaleConfig{}) {
+		if s.Quick {
+			s.Scale = SmallScale()
+		} else {
+			s.Scale = DefaultScale()
+		}
+	}
+	patterns := s.Experiments
+	if len(patterns) == 0 {
+		// The default selection, with the opt-in labs joining when the
+		// Spec configures them — the historical CLI contract.
+		if len(s.Profiles) > 0 {
+			patterns = append(patterns, "whatif")
+		}
+		if s.FleetScale > 0 {
+			patterns = append(patterns, "fleet")
+		}
+		def, err := experiments.Select()
+		if err != nil {
+			return s, nil, err
+		}
+		if len(patterns) == 0 {
+			return s, def, nil
+		}
+		for _, e := range def {
+			patterns = append(patterns, e.ID)
+		}
+	}
+	sel, err := experiments.Select(patterns...)
+	return s, sel, err
+}
+
+// Run is the one entry point of the experiment API: it resolves the
+// Spec's selection against the registry, builds a shared Session
+// (campaign, packet labs and testbed are generated lazily, once), and
+// executes the selected experiments in catalogue order.
+//
+// Cancelling ctx aborts the run promptly — campaign generation and the
+// opt-in labs stop at fleet-shard granularity, the packet labs at their
+// simulation-slice boundaries — and Run returns ctx.Err(). On any error
+// the results completed so far are returned alongside it, and — when
+// ResultsDir is set — written to disk, so an interrupted long campaign
+// loses only the experiment in flight.
+func Run(ctx context.Context, spec Spec, opts ...Option) ([]*Result, error) {
+	for _, o := range opts {
+		o(&spec)
+	}
+	spec, sel, err := spec.resolve()
+	if err != nil {
+		return nil, err
+	}
+	if spec.SkipPacket {
+		kept := sel[:0]
+		for _, e := range sel {
+			if !e.Needs.Packet {
+				kept = append(kept, e)
+			}
+		}
+		if len(kept) == 0 && len(sel) > 0 {
+			// An explicit selection must not silently shrink to nothing
+			// (Select enforces the same for unmatched patterns).
+			return nil, fmt.Errorf("selection %v contains only packet-level experiments, which SkipPacket excludes", spec.Experiments)
+		}
+		sel = kept
+	}
+
+	session := &Session{
+		Seed:       spec.Seed,
+		Scale:      spec.Scale,
+		Fleet:      spec.Fleet,
+		Quick:      spec.Quick,
+		FleetScale: spec.FleetScale,
+		Profiles:   spec.Profiles,
+	}
+	results := make([]*Result, 0, len(sel))
+	// flush persists whatever completed; on a failed run the original
+	// error wins over a secondary write failure.
+	flush := func(runErr error) error {
+		if spec.ResultsDir == "" || len(results) == 0 {
+			return runErr
+		}
+		if err := WriteResults(spec.ResultsDir, results); err != nil && runErr == nil {
+			return err
+		}
+		return runErr
+	}
+	for i, e := range sel {
+		if err := ctx.Err(); err != nil {
+			return results, flush(err)
+		}
+		if spec.Progress != nil {
+			spec.Progress(Progress{ID: e.ID, Title: e.Title, Index: i + 1, Total: len(sel)})
+		}
+		r, err := e.Run(ctx, session)
+		if err != nil {
+			return results, flush(fmt.Errorf("experiment %s: %w", e.ID, err))
+		}
+		annotate(r, spec)
+		results = append(results, r)
+		if spec.Progress != nil {
+			spec.Progress(Progress{ID: e.ID, Title: e.Title, Index: i + 1, Total: len(sel), Done: true})
+		}
+	}
+	return results, flush(nil)
+}
+
+// annotate attaches the run's provenance metadata to a result, in a fixed
+// key order WriteResults preserves.
+func annotate(r *Result, spec Spec) {
+	if r == nil || len(r.Meta) > 0 {
+		return
+	}
+	r.AddMeta("seed", strconv.FormatInt(spec.Seed, 10))
+	r.AddMeta("shards", strconv.Itoa(max(spec.Fleet.Shards, 1)))
+	r.AddMeta("scale_campus1", strconv.FormatFloat(spec.Scale.Campus1, 'g', -1, 64))
+	if spec.Quick {
+		r.AddMeta("quick", "true")
+	}
+}
+
+// ---------- ctx-aware campaign and lab entry points ----------
+
+// NewCampaign materializes the four vantage-point datasets through the
+// sharded fleet engine. fc.Shards == 1 reproduces the historical
+// sequential generator bit for bit; cancellation aborts at fleet-shard
+// granularity.
+func NewCampaign(ctx context.Context, seed int64, scale ScaleConfig, fc FleetConfig) (*Campaign, error) {
+	return experiments.NewCampaign(ctx, seed, scale, fc)
+}
+
+// RunFleet streams all four vantage points through the sharded fleet
+// engine with bounded memory: records are aggregated as they are
+// generated and never accumulated, so FleetConfig.DevicesScale can grow
+// the population far past what NewCampaign could hold.
+func RunFleet(ctx context.Context, seed int64, scale ScaleConfig, fc FleetConfig) (*FleetReport, error) {
+	return experiments.RunFleet(ctx, seed, scale, fc)
+}
+
+// WhatIf executes a capability what-if campaign. Every profile's run is
+// bit-reproducible from (seed, population, shards, profile), and the two
+// Dropbox presets reproduce the legacy Version-based campaign output
+// exactly.
+func WhatIf(ctx context.Context, cfg WhatIfConfig) (*WhatIfReport, error) {
+	return cfg.Run(ctx)
+}
+
+// Summarize streams one vantage point through the engine's bounded-memory
+// aggregation path, returning the streaming summary and generation ground
+// truth.
+func Summarize(ctx context.Context, cfg VPConfig, seed int64, fc FleetConfig) (*FleetSummary, FleetStats, error) {
+	return fleet.Summarize(ctx, cfg, seed, fc)
+}
+
+// ---------- streaming record iterators ----------
+
+// Records exposes one vantage point's generated flow records as an
+// iterator, in canonical shard order with bounded buffering — the one
+// record-stream abstraction trace export, fleet aggregation and user
+// analysis share. Breaking the loop tears the generating workers down
+// cleanly; a cancelled ctx surfaces as the final (nil, err) pair:
+//
+//	for r, err := range insidedropbox.Records(ctx, cfg, seed, fc) {
+//		if err != nil { return err }
+//		// consume r
+//	}
+func Records(ctx context.Context, cfg VPConfig, seed int64, fc FleetConfig) iter.Seq2[*FlowRecord, error] {
+	return fleet.Records(ctx, cfg, seed, fc)
+}
+
+// StreamRecords is the callback form of Records, for consumers that also
+// need the run's FleetStats: emit receives every record in canonical
+// shard order until it returns false (a clean stop) or ctx is cancelled
+// (surfaced as ctx.Err()). The stats describe generation: after an early
+// stop they include in-flight shards whose output was discarded, so
+// count deliveries in emit when the distinction matters.
+func StreamRecords(ctx context.Context, cfg VPConfig, seed int64, fc FleetConfig, emit func(*FlowRecord) bool) (FleetStats, error) {
+	return fleet.StreamRecords(ctx, cfg, seed, fc, emit)
+}
+
+// WriteRecordStream drains a record iterator into a RecordWriter (CSV or
+// binary) and flushes it: the three-line export path.
+func WriteRecordStream(w RecordWriter, seq iter.Seq2[*FlowRecord, error]) error {
+	for r, err := range seq {
+		if err != nil {
+			return err
+		}
+		if err := w.Write(r); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}

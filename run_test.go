@@ -1,0 +1,216 @@
+package insidedropbox
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// goldenScale is the small population used by the equivalence tests.
+var goldenScale = ScaleConfig{Campus1: 0.15, Campus2: 0.03, Home1: 0.01, Home2: 0.01}
+
+// TestRunMatchesLegacyFacade is the redesign's golden acceptance test:
+// Run with a full-catalogue selection must reproduce the exact bytes of
+// the deprecated entry points — AllExperiments + Table4 + PerformanceLab
+// + Testbed — result for result.
+func TestRunMatchesLegacyFacade(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the packet labs")
+	}
+	const seed = 9
+	spec := Spec{Seed: seed, Scale: goldenScale, Quick: true}
+	results, err := Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	legacy := map[string]*Result{}
+	for _, r := range AllExperiments(RunCampaign(seed, goldenScale)) {
+		legacy[r.ID] = r
+	}
+	legacy["table4"] = Table4(seed, goldenScale.Campus1)
+	fig9, fig10 := PerformanceLab(true)
+	legacy["figure9"], legacy["figure10"] = fig9, fig10
+	fig1, fig19 := Testbed(seed)
+	legacy["figure1"], legacy["figure19"] = fig1, fig19
+
+	if len(results) != len(legacy) {
+		t.Fatalf("Run produced %d results, legacy surface %d", len(results), len(legacy))
+	}
+	for _, got := range results {
+		want := legacy[got.ID]
+		if want == nil {
+			t.Errorf("%s: not produced by the legacy surface", got.ID)
+			continue
+		}
+		if got.Text != want.Text {
+			t.Errorf("%s: rendered text diverged from the legacy entry point", got.ID)
+		}
+		if got.Title != want.Title {
+			t.Errorf("%s: title %q != legacy %q", got.ID, got.Title, want.Title)
+		}
+		if !reflect.DeepEqual(got.Metrics, want.Metrics) {
+			t.Errorf("%s: metrics diverged from the legacy entry point", got.ID)
+		}
+		// The registry's catalogue label must not drift from the title the
+		// driver renders (they are maintained in two places).
+		if e, ok := ExperimentByID(got.ID); !ok || e.Title != got.Title {
+			t.Errorf("%s: registry title %q != rendered title %q", got.ID, e.Title, got.Title)
+		}
+	}
+}
+
+// TestRunSelection exercises glob selection, option layering and result
+// metadata.
+func TestRunSelection(t *testing.T) {
+	results, err := Run(context.Background(), Spec{Seed: 11},
+		WithScale(goldenScale),
+		WithExperiments("table2", "table3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 || results[0].ID != "table2" || results[1].ID != "table3" {
+		t.Fatalf("selection produced %d results", len(results))
+	}
+	if len(results[0].Meta) == 0 || results[0].Meta[0].Key != "seed" {
+		t.Fatalf("registry run missing provenance metadata: %+v", results[0].Meta)
+	}
+
+	if _, err := Run(context.Background(), Spec{}, WithExperiments("table99")); err == nil {
+		t.Fatal("Run accepted a selection matching nothing")
+	}
+
+	// SkipPacket must not silently empty an explicit selection.
+	if _, err := Run(context.Background(), Spec{SkipPacket: true},
+		WithExperiments("figure9")); err == nil {
+		t.Fatal("Run accepted a selection SkipPacket emptied")
+	}
+}
+
+// TestRunProgressAndResultsDir checks the observer contract and the
+// rendered output directory, including the meta section ordering.
+func TestRunProgressAndResultsDir(t *testing.T) {
+	dir := t.TempDir()
+	var events []Progress
+	_, err := Run(context.Background(), Spec{Seed: 3, Scale: goldenScale},
+		WithExperiments("table3"),
+		WithProgress(func(p Progress) { events = append(events, p) }),
+		WithResultsDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 || events[0].Done || !events[1].Done || events[0].ID != "table3" {
+		t.Fatalf("progress events: %+v", events)
+	}
+	if events[0].Index != 1 || events[0].Total != 1 {
+		t.Fatalf("progress indexing: %+v", events[0])
+	}
+	body, err := os.ReadFile(filepath.Join(dir, "table3.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	txt := string(body)
+	metaAt := strings.Index(txt, "\nmeta:\n")
+	metricsAt := strings.Index(txt, "\nmetrics:\n")
+	if metaAt < 0 || metricsAt < 0 || metaAt > metricsAt {
+		t.Fatalf("result file missing ordered meta/metrics sections:\n%s", txt)
+	}
+	if !strings.Contains(txt, "seed = 3") {
+		t.Fatalf("meta section missing seed:\n%s", txt)
+	}
+}
+
+// TestRunCancelMidRun cancels deterministically after the first
+// experiment completes; the next one must surface context.Canceled.
+func TestRunCancelMidRun(t *testing.T) {
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	results, err := Run(ctx, Spec{Seed: 5, Scale: goldenScale, Fleet: FleetConfig{Shards: 8}},
+		WithExperiments("table1", "table2"),
+		WithResultsDir(dir),
+		WithProgress(func(p Progress) {
+			if p.ID == "table1" && p.Done {
+				cancel()
+			}
+		}))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(results) != 1 || results[0].ID != "table1" {
+		t.Fatalf("partial results = %d", len(results))
+	}
+	// Completed results survive an interrupted run on disk.
+	if _, statErr := os.Stat(filepath.Join(dir, "table1.txt")); statErr != nil {
+		t.Fatalf("completed result not flushed after cancel: %v", statErr)
+	}
+}
+
+// TestRecordsIteratorMatchesStreamDataset pins the facade iterator
+// against the deprecated callback export: same records, same order, and a
+// clean round trip through WriteRecordStream.
+func TestRecordsIteratorMatchesStreamDataset(t *testing.T) {
+	cfg := Campus1(0.1)
+	fc := FleetConfig{Shards: 2}
+
+	var legacyBuf bytes.Buffer
+	tw := NewTraceWriter(&legacyBuf)
+	legacyStats := StreamDataset(cfg, 3, fc, func(r *FlowRecord) {
+		if err := tw.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	var iterBuf bytes.Buffer
+	if err := WriteRecordStream(NewTraceWriter(&iterBuf),
+		Records(context.Background(), cfg, 3, fc)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(legacyBuf.Bytes(), iterBuf.Bytes()) {
+		t.Fatal("iterator export diverged from the deprecated StreamDataset export")
+	}
+
+	n := 0
+	stats, err := StreamRecords(context.Background(), cfg, 3, fc, func(*FlowRecord) bool {
+		n++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != legacyStats.Records || stats.Records != legacyStats.Records {
+		t.Fatalf("StreamRecords delivered %d records, legacy %d", n, legacyStats.Records)
+	}
+}
+
+// TestExperimentCatalogueFacade: the facade re-exports resolve the same
+// registry the internal package holds.
+func TestExperimentCatalogueFacade(t *testing.T) {
+	cat := Experiments()
+	if len(cat) < 26 {
+		t.Fatalf("catalogue too small: %d", len(cat))
+	}
+	if _, ok := ExperimentByID("whatif"); !ok {
+		t.Fatal("whatif missing from facade catalogue")
+	}
+	sel, err := SelectExperiments("figure1?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range sel {
+		if len(e.ID) != len("figure1")+1 || !strings.HasPrefix(e.ID, "figure1") {
+			t.Fatalf("glob figure1? matched %q", e.ID)
+		}
+	}
+	if len(sel) != 10 {
+		t.Fatalf("figure1? matched %d experiments, want 10", len(sel))
+	}
+}
