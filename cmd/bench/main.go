@@ -8,13 +8,18 @@
 //
 //	bench [-quick] [-rev LABEL] [-o FILE] [-scenarios SUBSTR]
 //	      [-compare FILE|auto] [-max-allocs-ratio F]
+//	      [-pprof ADDR] [-cpuprofile FILE] [-memprofile FILE]
+//	      [-telemetry-interval DUR]
 //
 // Without -o the report lands in BENCH_<rev>.json in the current
 // directory; -rev defaults to the git short revision of the working tree.
 // -compare loads a baseline report ("auto" picks the most recently
-// recorded BENCH_*.json in the current directory) and exits non-zero if
-// any scenario's allocs-per-record regressed beyond -max-allocs-ratio —
-// the timing-independent gate CI runs at -quick scale.
+// recorded BENCH_*.json in the current directory), prints a one-line
+// delta summary per scenario, and exits non-zero if any scenario's
+// allocs-per-record regressed beyond -max-allocs-ratio — the
+// timing-independent gate CI runs at -quick scale. The profile flags
+// (shared with cmd/experiments and cmd/dropsim) capture CPU/heap
+// profiles or periodic telemetry snapshots of a harness run.
 package main
 
 import (
@@ -36,6 +41,7 @@ func main() {
 	compare := flag.String("compare", "", "baseline BENCH_*.json to gate against, or 'auto' for the latest in the current directory")
 	maxRatio := flag.Float64("max-allocs-ratio", 2.0, "fail -compare when allocs/record exceeds baseline by this factor")
 	list := flag.Bool("list", false, "print the scenario catalogue and exit")
+	prof := cli.BindProfile(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -75,6 +81,13 @@ func main() {
 		}
 	}
 
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	defer stopProf()
+
 	ctx, stop := cli.SignalContext()
 	defer stop()
 	rep := bench.Run(ctx, opts)
@@ -99,6 +112,10 @@ func main() {
 
 	if baseline == nil {
 		return
+	}
+	fmt.Fprintf(os.Stderr, "bench: deltas vs baseline %s:\n", baseline.Rev)
+	for _, line := range bench.DeltaSummary(rep, baseline) {
+		fmt.Fprintln(os.Stderr, "  "+line)
 	}
 	violations, notes := bench.Compare(rep, baseline, *maxRatio)
 	for _, n := range notes {

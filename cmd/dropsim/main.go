@@ -10,6 +10,13 @@
 //	dropsim [-vp campus1|campus2|home1|home2] [-scale F] [-seed N]
 //	        [-shards N] [-workers N] [-devices-scale F]
 //	        [-profile NAME] [-format csv|binary] [-summary] [-o FILE]
+//	        [-manifest FILE] [-pprof ADDR] [-cpuprofile FILE]
+//	        [-memprofile FILE] [-telemetry-interval DUR]
+//
+// -manifest writes a run manifest (the schema-versioned JSON of
+// insidedropbox.RunManifest) with the FNV-1a hash of the serialized
+// stream, per-shard timings and a telemetry snapshot — the reproducibility
+// record the telemetry-on/off golden check in CI compares.
 //
 // Records stream from the generator shards straight into the trace
 // writer over the facade's record iterator, so memory stays bounded
@@ -36,13 +43,18 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"hash"
+	"hash/fnv"
 	"io"
 	"os"
+	"strconv"
 	"strings"
+	"sync"
 
 	"insidedropbox"
 	"insidedropbox/internal/analysis"
 	"insidedropbox/internal/cli"
+	"insidedropbox/internal/telemetry"
 )
 
 func main() {
@@ -57,6 +69,8 @@ func main() {
 	format := flag.String("format", "csv", "trace format: csv (public-release compatible) or binary (columnar, ~3.5x smaller)")
 	summary := flag.Bool("summary", false, "print streaming aggregates instead of trace records")
 	out := flag.String("o", "", "output file (default stdout)")
+	manifest := flag.String("manifest", "", "write a run manifest (stream hash, shard timings, telemetry snapshot) to this file")
+	prof := cli.BindProfile(flag.CommandLine)
 	flag.Parse()
 
 	if *format != "csv" && *format != "binary" {
@@ -80,6 +94,13 @@ func main() {
 	}
 	fc := insidedropbox.FleetConfig{Shards: *shards, Workers: *workers, DevicesScale: *devScale}
 
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	defer stopProf()
+
 	var w io.Writer = os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -89,6 +110,25 @@ func main() {
 		}
 		defer f.Close()
 		w = f
+	}
+
+	// The manifest recorder hashes the exact serialized bytes (tee'd off
+	// the output stream) and logs per-shard timings via the fleet
+	// observer — both observation-only, so -manifest never changes the
+	// exported stream.
+	var rec *manifestRecorder
+	if *manifest != "" {
+		rec = newManifestRecorder(*seed, map[string]string{
+			"vp":            *vp,
+			"scale":         strconv.FormatFloat(*scale, 'g', -1, 64),
+			"shards":        strconv.Itoa(*shards),
+			"workers":       strconv.Itoa(*workers),
+			"devices_scale": strconv.FormatFloat(*devScale, 'g', -1, 64),
+			"format":        *format,
+			"profile":       *profile,
+		})
+		w = io.MultiWriter(w, rec.hash)
+		fc.Observer = rec.observe
 	}
 
 	ctx, stop := cli.SignalContext()
@@ -103,11 +143,52 @@ func main() {
 	if err != nil {
 		cli.Exit(ctx, "writing traces", err)
 	}
+	if rec != nil {
+		if err := rec.save(*manifest); err != nil {
+			cli.Exit(ctx, "writing manifest", err)
+		}
+	}
 	for _, v := range stats.BackgroundByDay {
 		volume += v
 	}
 	fmt.Fprintf(os.Stderr, "%s: %d flow records, %d Dropbox devices, %.2f GB total\n",
 		stats.Cfg.Name, stats.Records, stats.Devices, volume/1e9)
+}
+
+// manifestRecorder accumulates the -manifest inputs: the FNV-1a hash of
+// the serialized stream and the per-shard generation timings (fleet
+// workers call observe concurrently).
+type manifestRecorder struct {
+	hash hash.Hash64
+	m    *insidedropbox.RunManifest
+
+	mu sync.Mutex
+}
+
+func newManifestRecorder(seed int64, spec map[string]string) *manifestRecorder {
+	m := telemetry.NewManifest(seed)
+	m.Spec = spec
+	return &manifestRecorder{hash: fnv.New64a(), m: m}
+}
+
+func (r *manifestRecorder) observe(ev insidedropbox.ShardEvent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.m.Shards = append(r.m.Shards, telemetry.ShardTiming{
+		VP:      ev.VP,
+		Shard:   ev.Shard,
+		Shards:  ev.Shards,
+		Records: int64(ev.Records),
+		Seconds: ev.Elapsed.Seconds(),
+	})
+}
+
+func (r *manifestRecorder) save(path string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.m.StreamHash = fmt.Sprintf("%016x", r.hash.Sum64())
+	telemetry.SetInfo("stream_hash", r.m.StreamHash)
+	return r.m.Save(path)
 }
 
 // printSummary runs the bounded-memory aggregation path and renders the

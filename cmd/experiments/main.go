@@ -6,6 +6,15 @@
 //	experiments [-seed N] [-out DIR] [-quick] [-skip-packet]
 //	            [-only IDS] [-shards N] [-workers N]
 //	            [-fleet-scale F] [-whatif] [-profiles LIST] [-list]
+//	            [-pprof ADDR] [-cpuprofile FILE] [-memprofile FILE]
+//	            [-telemetry-interval DUR]
+//	            [-validate-manifest FILE] [-print-stream-hash FILE]
+//
+// Every run with -out writes a machine-readable manifest.json next to
+// the rendered results (seed, spec, environment, per-experiment and
+// per-shard timings, telemetry snapshot). -validate-manifest and
+// -print-stream-hash are the CI consumers of that file: schema
+// validation and the telemetry-on/off golden comparison.
 //
 // -only selects a catalogue subset by ID or glob ("table3", "figure*",
 // "table4,figure9"); without it the full default catalogue runs. -shards
@@ -28,8 +37,35 @@ import (
 
 func main() {
 	flags := cli.BindSpec(flag.CommandLine)
+	prof := cli.BindProfile(flag.CommandLine)
 	list := flag.Bool("list", false, "print the experiment catalogue and exit")
+	validateManifest := flag.String("validate-manifest", "", "validate a manifest.json against the current schema and exit")
+	printStreamHash := flag.String("print-stream-hash", "", "print the stream hash recorded in a manifest.json and exit")
 	flag.Parse()
+
+	if *validateManifest != "" {
+		m, err := insidedropbox.LoadRunManifest(*validateManifest)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: schema %d, seed %d, %d experiments, %d shards, %d counters\n",
+			*validateManifest, m.Schema, m.Seed, len(m.Experiments), len(m.Shards), len(m.Telemetry.Counters))
+		return
+	}
+	if *printStreamHash != "" {
+		m, err := insidedropbox.LoadRunManifest(*printStreamHash)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if m.StreamHash == "" {
+			fmt.Fprintf(os.Stderr, "%s: no stream hash recorded\n", *printStreamHash)
+			os.Exit(1)
+		}
+		fmt.Println(m.StreamHash)
+		return
+	}
 
 	if *list {
 		for _, e := range insidedropbox.Experiments() {
@@ -51,6 +87,13 @@ func main() {
 		os.Exit(2)
 	}
 	spec.Progress = cli.Progress(os.Stdout)
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	defer stopProf()
 
 	ctx, stop := cli.SignalContext()
 	defer stop()

@@ -176,6 +176,12 @@ type FleetConfig = fleet.Config
 // FleetStats is the merged ground truth of one vantage point's fleet run.
 type FleetStats = fleet.VPStats
 
+// ShardEvent is the per-shard completion event a FleetConfig.Observer
+// receives: one per generated shard, with the shard's record count and
+// wall time. Observation only — installing an observer never changes any
+// generated output.
+type ShardEvent = fleet.ShardEvent
+
 // FleetSummary is the streaming aggregate of one vantage point: per-day
 // volume accumulators, online flow-size histograms and device/namespace
 // counters, at memory independent of the flow count.

@@ -36,6 +36,7 @@ import (
 	"insidedropbox/internal/capability"
 	"insidedropbox/internal/experiments"
 	"insidedropbox/internal/fleet"
+	"insidedropbox/internal/telemetry"
 	"insidedropbox/internal/traces"
 	"insidedropbox/internal/workload"
 )
@@ -59,6 +60,16 @@ type ScenarioResult struct {
 	MBPerSec            float64 `json:"mb_per_sec,omitempty"`
 	AllocsPerRecord     float64 `json:"allocs_per_record"`
 	AllocBytesPerRecord float64 `json:"alloc_bytes_per_record"`
+
+	// GOMAXPROCS is the parallelism the scenario ran at — per scenario
+	// because throughput on the sharded scenarios scales with it, so
+	// cross-report deltas are only meaningful when it matches. Omitted
+	// (0) in reports recorded before it was tracked.
+	GOMAXPROCS int `json:"gomaxprocs,omitempty"`
+	// PeakRSSBytes is the process high-water RSS after this scenario.
+	// It is cumulative across the run (the kernel counter never drops),
+	// so the first scenario to raise it is the one that cost the memory.
+	PeakRSSBytes int64 `json:"peak_rss_bytes,omitempty"`
 }
 
 // Report is one recorded harness run — the content of a BENCH_<rev>.json.
@@ -198,8 +209,22 @@ func measure(ctx context.Context, sc scenario, quick bool) ScenarioResult {
 	if bytes > 0 && dt > 0 {
 		res.MBPerSec = float64(bytes) / 1e6 / dt.Seconds()
 	}
+	res.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	res.PeakRSSBytes = peakRSS()
+	mPeakRSS.Set(res.PeakRSSBytes)
+	mScenarioSeconds.Observe(dt)
+	mScenarios.Inc()
 	return res
 }
+
+// Harness telemetry: the peak-RSS gauge tracks the scenario bracket in
+// measure, so a -telemetry-interval run shows which scenario raised the
+// high-water mark as it happens.
+var (
+	mScenarios       = telemetry.NewCounter("bench.scenarios")
+	mScenarioSeconds = telemetry.NewHist("bench.scenario_seconds")
+	mPeakRSS         = telemetry.NewGauge("bench.peak_rss_bytes")
+)
 
 // ---------- the scenario catalogue ----------
 
@@ -496,6 +521,42 @@ func Compare(current, baseline *Report, maxAllocsRatio float64) (violations, not
 		}
 	}
 	return violations, notes
+}
+
+// DeltaSummary renders one line per scenario present in both reports,
+// comparing throughput and allocator pressure against the baseline —
+// the human-readable companion to Compare's pass/fail gate. Timing
+// deltas are annotated, not gated: wall-clock noise on shared CI boxes
+// makes them advisory. A GOMAXPROCS mismatch is flagged on the line,
+// since parallel-scenario throughput is not comparable across it.
+func DeltaSummary(current, baseline *Report) []string {
+	var lines []string
+	for _, cur := range current.Scenarios {
+		base := baseline.Scenario(cur.Name)
+		if base == nil || base.Records == 0 || cur.Records == 0 {
+			continue
+		}
+		line := fmt.Sprintf("%-28s %9.0f rec/s (%s)  %6.2f allocs/rec (%s)",
+			cur.Name,
+			cur.RecordsPerSec, pctDelta(cur.RecordsPerSec, base.RecordsPerSec),
+			cur.AllocsPerRecord, pctDelta(cur.AllocsPerRecord, base.AllocsPerRecord))
+		if cur.MBPerSec > 0 && base.MBPerSec > 0 {
+			line += fmt.Sprintf("  %8.1f MB/s (%s)", cur.MBPerSec, pctDelta(cur.MBPerSec, base.MBPerSec))
+		}
+		if cur.GOMAXPROCS != base.GOMAXPROCS && cur.GOMAXPROCS > 0 && base.GOMAXPROCS > 0 {
+			line += fmt.Sprintf("  [gomaxprocs %d vs %d]", cur.GOMAXPROCS, base.GOMAXPROCS)
+		}
+		lines = append(lines, line)
+	}
+	return lines
+}
+
+// pctDelta formats a signed percentage change versus a baseline value.
+func pctDelta(cur, base float64) string {
+	if base == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", (cur/base-1)*100)
 }
 
 // peakRSS reads the process high-water RSS (VmHWM) from /proc/self/status;

@@ -109,8 +109,11 @@ func (f *SpecFlags) Spec() (insidedropbox.Spec, error) {
 
 // Exit terminates the process after a run error: exit 130 for an
 // interrupted context (so scripts can distinguish ^C from real failures),
-// 1 otherwise. Shared by every binary so they behave alike.
+// 1 otherwise. Shared by every binary so they behave alike. Profile sinks
+// started via ProfileFlags.Start are stopped first, so an interrupted or
+// failed run still writes its profiles and final telemetry line.
 func Exit(ctx context.Context, what string, err error) {
+	runStops()
 	if errors.Is(err, ctx.Err()) && ctx.Err() != nil {
 		fmt.Fprintf(os.Stderr, "%s: interrupted: %v\n", what, err)
 		os.Exit(130)
@@ -177,16 +180,44 @@ func VantagePoint(name string, scale float64) (insidedropbox.VPConfig, error) {
 }
 
 // Progress returns a Spec progress observer that prints one line per
-// experiment to w, with per-experiment wall-clock on completion.
+// experiment to w — start, and completion with wall-clock or failure —
+// plus, on multi-shard runs, one line per completed generation shard with
+// live throughput and ETA.
 func Progress(w io.Writer) func(insidedropbox.Progress) {
-	starts := map[string]time.Time{}
 	return func(p insidedropbox.Progress) {
-		if !p.Done {
-			starts[p.ID] = time.Now()
+		switch {
+		case p.ShardEvent():
+			if p.Shards < 2 {
+				return // single-shard VPs: the experiment lines suffice
+			}
+			line := fmt.Sprintf("        %s: shard %d/%d, %s records (%s rec/s",
+				p.VP, p.ShardsDone, p.Shards, Count(p.Records), Count(int64(p.RecordsPerSec)))
+			if p.ETA > 0 {
+				line += ", ETA " + p.ETA.Round(time.Second).String()
+			}
+			fmt.Fprintln(w, line+")")
+		case !p.Done:
 			fmt.Fprintf(w, "[%2d/%d] %-10s %s ...\n", p.Index, p.Total, p.ID, p.Title)
-			return
+		case p.Err != nil:
+			fmt.Fprintf(w, "[%2d/%d] %-10s FAILED after %v: %v\n",
+				p.Index, p.Total, p.ID, p.Elapsed.Round(time.Millisecond), p.Err)
+		default:
+			fmt.Fprintf(w, "[%2d/%d] %-10s done in %v\n",
+				p.Index, p.Total, p.ID, p.Elapsed.Round(time.Millisecond))
 		}
-		fmt.Fprintf(w, "[%2d/%d] %-10s done in %v\n",
-			p.Index, p.Total, p.ID, time.Since(starts[p.ID]).Round(time.Millisecond))
+	}
+}
+
+// Count humanizes a count for progress lines (1234567 -> "1.2M").
+func Count(v int64) string {
+	switch {
+	case v >= 1_000_000_000:
+		return fmt.Sprintf("%.1fG", float64(v)/1e9)
+	case v >= 1_000_000:
+		return fmt.Sprintf("%.1fM", float64(v)/1e6)
+	case v >= 10_000:
+		return fmt.Sprintf("%.0fK", float64(v)/1e3)
+	default:
+		return fmt.Sprintf("%d", v)
 	}
 }

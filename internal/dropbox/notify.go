@@ -2,6 +2,7 @@ package dropbox
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -116,6 +117,7 @@ type notifyState struct {
 	svc     *Service
 	waiters map[*tcpsim.Conn]*notifyWaiter
 	byNS    map[NamespaceID]map[*tcpsim.Conn]struct{}
+	nextSeq uint64
 }
 
 type notifyWaiter struct {
@@ -123,7 +125,8 @@ type notifyWaiter struct {
 	req   NotifyRequest
 	timer simtime.EventID
 	buf   []byte
-	armed bool // request fully received, response pending
+	armed bool   // request fully received, response pending
+	seq   uint64 // arrival order, the deterministic broadcast order
 }
 
 func newNotifyState(svc *Service) *notifyState {
@@ -135,7 +138,8 @@ func newNotifyState(svc *Service) *notifyState {
 }
 
 func (n *notifyState) accept(conn *tcpsim.Conn) {
-	w := &notifyWaiter{conn: conn}
+	n.nextSeq++
+	w := &notifyWaiter{conn: conn, seq: n.nextSeq}
 	n.waiters[conn] = w
 	conn.OnRecv = func(data []byte, size int, push bool) {
 		w.buf = append(w.buf, data...)
@@ -182,11 +186,22 @@ func (n *notifyState) arm(w *notifyWaiter, req NotifyRequest) {
 // as they are performed").
 func (n *notifyState) journalAdvanced(ns NamespaceID, seq uint64) {
 	set := n.byNS[ns]
+	if len(set) == 0 {
+		return
+	}
+	// Iterating a map keyed by *Conn follows pointer hash order, which
+	// varies with heap layout run to run — with several devices on one
+	// namespace the broadcast order (and every downstream packet time)
+	// became nondeterministic. Respond in connection arrival order.
+	ws := make([]*notifyWaiter, 0, len(set))
 	for conn := range set {
-		w := n.waiters[conn]
-		if w != nil && w.armed {
-			n.respond(w, []NamespaceID{ns})
+		if w := n.waiters[conn]; w != nil && w.armed {
+			ws = append(ws, w)
 		}
+	}
+	sort.Slice(ws, func(i, j int) bool { return ws[i].seq < ws[j].seq })
+	for _, w := range ws {
+		n.respond(w, []NamespaceID{ns})
 	}
 }
 

@@ -161,8 +161,10 @@ func (s *Session) Campaign(ctx context.Context) (*Campaign, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.camp != nil {
+		mCampaignHits.Inc()
 		return s.camp, nil
 	}
+	mCampaignBuilds.Inc()
 	camp, err := NewCampaign(ctx, s.Seed, s.Scale, s.Fleet)
 	if err != nil {
 		return nil, err
@@ -179,8 +181,10 @@ func (s *Session) PacketRecords(ctx context.Context) (store, retr []*traces.Flow
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.packDone {
+		mPacketHits.Inc()
 		return s.packStore, s.packRetr, s.packCfg, nil
 	}
+	mPacketBuilds.Inc()
 	storeCfg, retrCfg := DefaultPacketLab(false), DefaultPacketLab(true)
 	if s.Quick {
 		storeCfg, retrCfg = QuickPacketLab(false), QuickPacketLab(true)
@@ -203,8 +207,10 @@ func (s *Session) Testbed(ctx context.Context) (*TestbedResult, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.tb != nil {
+		mTestbedHits.Inc()
 		return s.tb, nil
 	}
+	mTestbedBuilds.Inc()
 	tb, err := RunTestbed(ctx, s.Seed)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,15 @@
+package experiments
+
+import "insidedropbox/internal/telemetry"
+
+// Session memoization telemetry: hits are experiments that reused a shared
+// artifact, builds the times the artifact was actually generated. A
+// campaign run over many experiments should show builds=1 per artifact.
+var (
+	mCampaignHits   = telemetry.NewCounter("session.campaign_hits")
+	mCampaignBuilds = telemetry.NewCounter("session.campaign_builds")
+	mPacketHits     = telemetry.NewCounter("session.packet_hits")
+	mPacketBuilds   = telemetry.NewCounter("session.packet_builds")
+	mTestbedHits    = telemetry.NewCounter("session.testbed_hits")
+	mTestbedBuilds  = telemetry.NewCounter("session.testbed_builds")
+)

@@ -38,10 +38,10 @@ func Aggregate(ctx context.Context, vp workload.VPConfig, seed int64, fc Config,
 	for i := range aggs {
 		aggs[i] = newAgg(i)
 	}
-	stats, err := runShards(ctx, fc, func(sh int) workload.ShardStats {
+	stats, err := runShards(ctx, fc, vp.Name, func(sh int) workload.ShardStats {
 		agg := aggs[sh]
 		pool := new(RecordPool)
-		return workload.GenerateShardSink(vp, seed, sh, fc.Shards, workload.ShardSink{
+		st := workload.GenerateShardSink(vp, seed, sh, fc.Shards, workload.ShardSink{
 			Emit: func(r *traces.FlowRecord) {
 				agg.Consume(r)
 				pool.Put(r)
@@ -49,6 +49,8 @@ func Aggregate(ctx context.Context, vp workload.VPConfig, seed int64, fc Config,
 			Alloc: pool.Get,
 			Free:  pool.Put,
 		})
+		pool.flushTelemetry()
+		return st
 	})
 	root := aggs[0]
 	for _, a := range aggs[1:] {

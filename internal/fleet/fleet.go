@@ -60,6 +60,13 @@ type Config struct {
 	// This is how campaigns grow 10-1000x beyond the paper's populations
 	// without touching the calibrated per-VP configs.
 	DevicesScale float64
+
+	// Observer, when non-nil, receives one ShardEvent as each shard
+	// finishes generating. Shards complete concurrently, so Observer
+	// must be safe for concurrent use; it runs on the worker goroutines
+	// and should return quickly. Observation only — installing an
+	// observer never changes any generated output.
+	Observer func(ShardEvent)
 }
 
 func (c Config) normalized() Config {
@@ -122,16 +129,34 @@ type Sink interface {
 //     zeroing only drops the reference.
 type RecordPool struct {
 	free []*traces.FlowRecord
+	// hits/misses count Get outcomes as plain ints (the pool is
+	// single-goroutine by contract); flushTelemetry publishes them.
+	hits, misses int
 }
 
 // Get returns a zero-valued record.
 func (p *RecordPool) Get() *traces.FlowRecord {
 	if n := len(p.free); n > 0 {
+		p.hits++
 		r := p.free[n-1]
 		p.free = p.free[:n-1]
 		return r
 	}
+	p.misses++
 	return new(traces.FlowRecord)
+}
+
+// flushTelemetry publishes the pool's accumulated hit/miss counts to the
+// process counters and resets the local tallies. Called once per shard on
+// the pooled aggregation path.
+func (p *RecordPool) flushTelemetry() {
+	if p.hits > 0 {
+		mPoolHits.Add(uint64(p.hits))
+	}
+	if p.misses > 0 {
+		mPoolMisses.Add(uint64(p.misses))
+	}
+	p.hits, p.misses = 0, 0
 }
 
 // Put zeroes r and makes it available to the next Get.
@@ -172,7 +197,7 @@ func RunVP(ctx context.Context, vp workload.VPConfig, seed int64, fc Config, new
 	for i := range sinks {
 		sinks[i] = newSink(i)
 	}
-	stats, err := runShards(ctx, fc, func(sh int) workload.ShardStats {
+	stats, err := runShards(ctx, fc, vp.Name, func(sh int) workload.ShardStats {
 		return workload.GenerateShard(vp, seed, sh, fc.Shards, sinks[sh].Consume)
 	})
 	return mergeStats(vp, fc, stats), sinks, err
@@ -184,8 +209,9 @@ func RunVP(ctx context.Context, vp workload.VPConfig, seed int64, fc Config, new
 // shards are skipped (their stats stay zero) and ctx.Err() is returned;
 // in-flight shards always run to completion so sinks never observe a
 // truncated shard stream.
-func runShards(ctx context.Context, fc Config, runShard func(sh int) workload.ShardStats) ([]workload.ShardStats, error) {
+func runShards(ctx context.Context, fc Config, vpName string, runShard func(sh int) workload.ShardStats) ([]workload.ShardStats, error) {
 	stats := make([]workload.ShardStats, fc.Shards)
+	tracker := &shardTracker{fc: fc, vp: vpName}
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < fc.Workers; w++ {
@@ -196,7 +222,7 @@ func runShards(ctx context.Context, fc Config, runShard func(sh int) workload.Sh
 				if ctx.Err() != nil {
 					continue // drain the queue without generating
 				}
-				stats[sh] = runShard(sh)
+				stats[sh] = tracker.run(sh, func() workload.ShardStats { return runShard(sh) })
 			}
 		}()
 	}

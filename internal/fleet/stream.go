@@ -81,6 +81,7 @@ func StreamRecords(ctx context.Context, vp workload.VPConfig, seed int64, fc Con
 		}
 	}()
 
+	tracker := &shardTracker{fc: fc, vp: vp.Name}
 	var wg sync.WaitGroup
 	for w := 0; w < fc.Workers; w++ {
 		wg.Add(1)
@@ -89,16 +90,33 @@ func StreamRecords(ctx context.Context, vp workload.VPConfig, seed int64, fc Con
 			for sh := range jobs {
 				ch := chans[sh]
 				dropping := false
-				stats[sh] = workload.GenerateShard(vp, seed, sh, fc.Shards, func(r *traces.FlowRecord) {
-					if dropping {
-						return
-					}
-					select {
-					case ch <- r:
-					case <-stop:
-						dropping = true
-					}
+				stalls := 0
+				stats[sh] = tracker.run(sh, func() workload.ShardStats {
+					return workload.GenerateShard(vp, seed, sh, fc.Shards, func(r *traces.FlowRecord) {
+						if dropping {
+							return
+						}
+						// Fast path: buffer space available. The
+						// blocking select below is reached only when the
+						// producer would actually stall on the consumer
+						// (or the stream is being torn down) — that's the
+						// backpressure signal the stall counter tracks.
+						select {
+						case ch <- r:
+							return
+						default:
+						}
+						stalls++
+						select {
+						case ch <- r:
+						case <-stop:
+							dropping = true
+						}
+					})
 				})
+				if stalls > 0 {
+					mStreamStalls.Add(uint64(stalls))
+				}
 				close(ch)
 			}
 		}()
@@ -118,8 +136,13 @@ func StreamRecords(ctx context.Context, vp workload.VPConfig, seed int64, fc Con
 			return finish(ctx.Err())
 		}
 		for r := range chans[sh] {
-			if n&ctxCheckMask == 0 && ctx.Err() != nil {
-				return finish(ctx.Err())
+			if n&ctxCheckMask == 0 {
+				// Sampled at the ctx-poll cadence so the depth gauge
+				// stays off the per-record path.
+				mStreamDepth.Set(int64(len(chans[sh])))
+				if ctx.Err() != nil {
+					return finish(ctx.Err())
+				}
 			}
 			n++
 			if !emit(r) {

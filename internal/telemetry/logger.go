@@ -1,0 +1,110 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// LogPeriodically starts a goroutine that writes one compact snapshot
+// line to w every interval — the -telemetry-interval CLI sink. Each line
+// carries the counters that moved since the previous tick (with their
+// per-second rate), the non-zero gauges, and the histogram counts, so a
+// long campaign shows live throughput without any per-record cost: the
+// logger only reads.
+//
+// The returned stop function halts the logger, waits for it to exit, and
+// emits one final line so short runs still log a snapshot. Stop is
+// idempotent.
+func LogPeriodically(w io.Writer, interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	var once sync.Once
+	start := time.Now()
+	prev := Snapshot()
+	prevAt := start
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case now := <-tick.C:
+				cur := Snapshot()
+				writeSnapLine(w, start, cur, prev, now.Sub(prevAt))
+				prev, prevAt = cur, now
+			case <-done:
+				writeSnapLine(w, start, Snapshot(), prev, time.Since(prevAt))
+				return
+			}
+		}
+	}()
+	return func() {
+		once.Do(func() { close(done) })
+		wg.Wait()
+	}
+}
+
+// writeSnapLine renders one snapshot line: elapsed tag, changed counters
+// with rates, non-zero gauges.
+func writeSnapLine(w io.Writer, start time.Time, cur, prev Snap, dt time.Duration) {
+	var b []byte
+	b = append(b, "telemetry["...)
+	b = strconv.AppendFloat(b, time.Since(start).Seconds(), 'f', 1, 64)
+	b = append(b, "s]"...)
+	for _, name := range sortedKeys(cur.Counters) {
+		v := cur.Counters[name]
+		if v == 0 {
+			continue
+		}
+		b = append(b, ' ')
+		b = append(b, name...)
+		b = append(b, '=')
+		b = append(b, fmtCount(float64(v))...)
+		if d := v - prev.Counters[name]; d > 0 && dt > 0 {
+			b = append(b, "(+"...)
+			b = append(b, fmtCount(float64(d)/dt.Seconds())...)
+			b = append(b, "/s)"...)
+		}
+	}
+	for _, name := range sortedKeys(cur.Gauges) {
+		if v := cur.Gauges[name]; v != 0 {
+			b = append(b, ' ')
+			b = append(b, name...)
+			b = append(b, '=')
+			b = strconv.AppendInt(b, v, 10)
+		}
+	}
+	b = append(b, '\n')
+	w.Write(b)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// fmtCount renders a count or rate compactly (1234567 -> "1.23M").
+func fmtCount(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.2fG", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fM", v/1e6)
+	case v >= 1e4:
+		return fmt.Sprintf("%.1fK", v/1e3)
+	default:
+		return strconv.FormatFloat(v, 'f', 0, 64)
+	}
+}

@@ -350,6 +350,9 @@ func (w *BinaryWriter) flushBlock() error {
 		w.err = err
 		return err
 	}
+	mBinBlocks.Inc()
+	mBinRecords.Add(uint64(w.n))
+	mBinBytes.Add(uint64(len(body) - start))
 	w.resetBlock()
 	return nil
 }

@@ -1,0 +1,30 @@
+package traces
+
+import "io"
+
+import "insidedropbox/internal/telemetry"
+
+// Serialization telemetry per codec. The CSV writer counts locally and
+// publishes on Flush; the binary writer publishes once per encoded block —
+// neither path adds atomics per record.
+var (
+	mCSVRecords = telemetry.NewCounter("traces.csv_records")
+	mCSVBytes   = telemetry.NewCounter("traces.csv_bytes")
+	mBinRecords = telemetry.NewCounter("traces.binary_records")
+	mBinBytes   = telemetry.NewCounter("traces.binary_bytes")
+	mBinBlocks  = telemetry.NewCounter("traces.binary_blocks")
+)
+
+// meteredWriter counts the bytes reaching the underlying writer. The
+// count accumulates as a plain int (writers are single-goroutine by
+// contract) and is published by the owning codec's Flush.
+type meteredWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (m *meteredWriter) Write(p []byte) (int, error) {
+	n, err := m.w.Write(p)
+	m.n += int64(n)
+	return n, err
+}

@@ -98,10 +98,17 @@ type Writer struct {
 	// Reused per-Write scratch; records are never retained.
 	row []string
 	ns  []string
+
+	// Telemetry tallies, published on Flush.
+	mw   *meteredWriter
+	nrec int
 }
 
 // NewWriter wraps w.
-func NewWriter(w io.Writer) *Writer { return &Writer{cw: csv.NewWriter(w)} }
+func NewWriter(w io.Writer) *Writer {
+	mw := &meteredWriter{w: w}
+	return &Writer{cw: csv.NewWriter(mw), mw: mw}
+}
 
 // anonToken produces the stable 48-bit anonymization token for an address:
 // the FNV-1a hash of "anon-<decimal ip>", the value the CSV format prints
@@ -159,12 +166,22 @@ func (w *Writer) Write(r *FlowRecord) error {
 		boolStr(r.SawSYN), boolStr(r.SawFIN), boolStr(r.SawRST), boolStr(r.ServerClosed),
 	)
 	w.row = row
+	w.nrec++
 	return w.cw.Write(row)
 }
 
-// Flush finishes the stream.
+// Flush finishes the stream and publishes the accumulated record/byte
+// telemetry.
 func (w *Writer) Flush() error {
 	w.cw.Flush()
+	if w.nrec > 0 {
+		mCSVRecords.Add(uint64(w.nrec))
+		w.nrec = 0
+	}
+	if w.mw != nil && w.mw.n > 0 {
+		mCSVBytes.Add(uint64(w.mw.n))
+		w.mw.n = 0
+	}
 	return w.cw.Error()
 }
 

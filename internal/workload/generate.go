@@ -140,6 +140,10 @@ type ShardStats struct {
 	// Ground truth for validating probe-side inference.
 	Households, Devices int
 
+	// SyncEvents counts the synthesized device sync events (store and
+	// retrieve batches) that drove storage-flow generation.
+	SyncEvents int
+
 	// Background arrays describe the whole vantage point population, so
 	// only shard 0 produces them (nil on every other shard).
 	BackgroundByDay []float64
@@ -152,6 +156,7 @@ func (s *ShardStats) Merge(o ShardStats) {
 	s.Records += o.Records
 	s.Households += o.Households
 	s.Devices += o.Devices
+	s.SyncEvents += o.SyncEvents
 	if o.BackgroundByDay != nil {
 		s.BackgroundByDay = o.BackgroundByDay
 		s.YouTubeByDay = o.YouTubeByDay
@@ -318,6 +323,7 @@ func GenerateShardSink(cfg VPConfig, seed int64, shard, nshards int, sink ShardS
 	for i := lo; i < hi; i++ {
 		g.subscriber(SubscriberIP(ipBase, i))
 	}
+	g.stats.flushTelemetry()
 	return g.stats
 }
 
@@ -614,6 +620,7 @@ func (g *generator) dropboxTraffic(hh *household) {
 	}
 	for _, dev := range hh.devices {
 		evs := dev.events
+		g.stats.SyncEvents += len(evs)
 		// sort.Sort over the typed slice runs the same pdqsort as
 		// sort.Slice — identical permutation, no reflection-based swapper.
 		sort.Sort(eventsByTime(evs))

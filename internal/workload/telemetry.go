@@ -1,0 +1,23 @@
+package workload
+
+import "insidedropbox/internal/telemetry"
+
+// Generation ground-truth telemetry, published once per completed shard —
+// the per-subscriber and per-record paths accumulate into the shard's
+// plain ShardStats fields and never touch an atomic.
+var (
+	mShards     = telemetry.NewCounter("workload.shards")
+	mRecords    = telemetry.NewCounter("workload.records")
+	mHouseholds = telemetry.NewCounter("workload.households")
+	mDevices    = telemetry.NewCounter("workload.devices")
+	mSyncEvents = telemetry.NewCounter("workload.sync_events")
+)
+
+// flushTelemetry publishes one completed shard's ground-truth counters.
+func (s *ShardStats) flushTelemetry() {
+	mShards.Inc()
+	mRecords.Add(uint64(s.Records))
+	mHouseholds.Add(uint64(s.Households))
+	mDevices.Add(uint64(s.Devices))
+	mSyncEvents.Add(uint64(s.SyncEvents))
+}

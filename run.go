@@ -4,10 +4,17 @@ import (
 	"context"
 	"fmt"
 	"iter"
+	"os"
+	"path/filepath"
+	"runtime"
 	"strconv"
+	"strings"
+	"sync"
+	"time"
 
 	"insidedropbox/internal/experiments"
 	"insidedropbox/internal/fleet"
+	"insidedropbox/internal/telemetry"
 )
 
 // Spec is the one description of an experiment run: seed, population
@@ -53,23 +60,56 @@ type Spec struct {
 	FleetScale float64
 
 	// ResultsDir, when non-empty, receives the rendered results via
-	// WriteResults after the run completes.
+	// WriteResults after the run completes, plus a schema-versioned
+	// manifest.json (telemetry.Manifest): the run's provenance record —
+	// environment, per-experiment and per-shard timings, and a full
+	// telemetry counter snapshot. The manifest is written even when the
+	// run fails or completes zero experiments.
 	ResultsDir string
 
-	// Progress, when non-nil, observes the run: one event as each
-	// experiment starts and one as it completes.
+	// Progress, when non-nil, observes the run. Experiment events mark
+	// each experiment's start and completion (every started experiment
+	// gets a terminal event, failed ones with Err set); shard events
+	// (ShardEvent() true) report generation progress inside the running
+	// experiment with live throughput and an ETA. Progress is called
+	// from the run's goroutines but never concurrently.
 	Progress func(Progress)
 }
 
-// Progress is one run observation event.
+// Progress is one run observation event. Two kinds of event flow through
+// the same callback: experiment events (ShardEvent() false) and, between
+// an experiment's start and terminal events, shard events reporting the
+// generation underneath it.
 type Progress struct {
 	// ID and Title identify the experiment.
 	ID, Title string
 	// Index is the experiment's 1-based position of Total selected.
 	Index, Total int
-	// Done is false when the experiment starts, true when it completes.
+	// Done is false when the experiment starts, true when it completes —
+	// successfully or not. A run emits exactly one terminal event per
+	// started experiment, so observers never hang waiting for experiment
+	// N of M.
 	Done bool
+	// Err is the experiment's failure, set only on the terminal event of
+	// a failed experiment.
+	Err error
+	// Elapsed is the experiment's wall time on terminal events, and the
+	// completed shard's generation time on shard events.
+	Elapsed time.Duration
+
+	// Shard-granularity fields, set only on shard events (Shards > 0):
+	// one event per completed generation shard under the experiment the
+	// identity fields above name.
+	VP            string        // vantage point being generated
+	Shard, Shards int           // completed shard's index of Shards total
+	ShardsDone    int           // this VP's shards completed so far
+	Records       int64         // this VP's records generated so far
+	RecordsPerSec float64       // this VP's live generation throughput
+	ETA           time.Duration // estimated remaining generation time for this VP
 }
+
+// ShardEvent reports whether p is a shard-granularity event.
+func (p Progress) ShardEvent() bool { return p.Shards > 0 }
 
 // Option adjusts a Spec. Options are applied in order after the Spec
 // literal, so later options win.
@@ -200,49 +240,219 @@ func Run(ctx context.Context, spec Spec, opts ...Option) ([]*Result, error) {
 		sel = kept
 	}
 
+	// The observer serializes shard events from the fleet workers into
+	// Progress callbacks and collects the per-shard timings the manifest
+	// records. It chains any observer the caller installed on the Fleet
+	// config.
+	obs := &runObserver{progress: spec.Progress, next: spec.Fleet.Observer}
+	fc := spec.Fleet
+	fc.Observer = obs.observe
+
 	session := &Session{
 		Seed:       spec.Seed,
 		Scale:      spec.Scale,
-		Fleet:      spec.Fleet,
+		Fleet:      fc,
 		Quick:      spec.Quick,
 		FleetScale: spec.FleetScale,
 		Profiles:   spec.Profiles,
 	}
 	results := make([]*Result, 0, len(sel))
-	// flush persists whatever completed; on a failed run the original
-	// error wins over a secondary write failure.
+	var expTimings []telemetry.ExperimentTiming
+	// flush persists whatever completed plus the run manifest; on a
+	// failed run the original error wins over a secondary write failure.
 	flush := func(runErr error) error {
-		if spec.ResultsDir == "" || len(results) == 0 {
+		if spec.ResultsDir == "" {
 			return runErr
 		}
-		if err := WriteResults(spec.ResultsDir, results); err != nil && runErr == nil {
-			return err
+		if len(results) > 0 {
+			if err := WriteResults(spec.ResultsDir, results); err != nil {
+				if runErr == nil {
+					runErr = err
+				}
+				return runErr
+			}
+		}
+		m := telemetry.NewManifest(spec.Seed)
+		m.Spec = specProvenance(spec, sel)
+		m.Experiments = expTimings
+		m.Shards = obs.shardTimings()
+		if err := writeManifest(spec.ResultsDir, m); err != nil && runErr == nil {
+			runErr = err
 		}
 		return runErr
+	}
+	emit := func(p Progress) {
+		if spec.Progress != nil {
+			spec.Progress(p)
+		}
 	}
 	for i, e := range sel {
 		if err := ctx.Err(); err != nil {
 			return results, flush(err)
 		}
-		if spec.Progress != nil {
-			spec.Progress(Progress{ID: e.ID, Title: e.Title, Index: i + 1, Total: len(sel)})
-		}
+		obs.setCurrent(e.ID, e.Title, i+1, len(sel))
+		emit(Progress{ID: e.ID, Title: e.Title, Index: i + 1, Total: len(sel)})
+		start := time.Now()
 		r, err := e.Run(ctx, session)
+		elapsed := time.Since(start)
+		mExperimentSeconds.Observe(elapsed)
+		t := telemetry.ExperimentTiming{ID: e.ID, Title: e.Title, Seconds: elapsed.Seconds()}
 		if err != nil {
-			return results, flush(fmt.Errorf("experiment %s: %w", e.ID, err))
+			err = fmt.Errorf("experiment %s: %w", e.ID, err)
+			t.Err = err.Error()
+			expTimings = append(expTimings, t)
+			emit(Progress{ID: e.ID, Title: e.Title, Index: i + 1, Total: len(sel), Done: true, Err: err, Elapsed: elapsed})
+			return results, flush(err)
 		}
-		annotate(r, spec)
+		expTimings = append(expTimings, t)
+		annotate(r, spec, elapsed)
 		results = append(results, r)
-		if spec.Progress != nil {
-			spec.Progress(Progress{ID: e.ID, Title: e.Title, Index: i + 1, Total: len(sel), Done: true})
-		}
+		emit(Progress{ID: e.ID, Title: e.Title, Index: i + 1, Total: len(sel), Done: true, Elapsed: elapsed})
 	}
 	return results, flush(nil)
 }
 
+// RunManifest is the machine-readable provenance record a Run with
+// ResultsDir writes as manifest.json: execution environment, flattened
+// spec, per-experiment and per-shard timings, and a full telemetry
+// snapshot.
+type RunManifest = telemetry.Manifest
+
+// LoadRunManifest parses and validates a run manifest written by Run (or
+// by cmd/dropsim -manifest).
+func LoadRunManifest(path string) (*RunManifest, error) { return telemetry.LoadManifest(path) }
+
+// mExperimentSeconds times each experiment's Run.
+var mExperimentSeconds = telemetry.NewHist("run.experiment_seconds")
+
+// runObserver adapts fleet.ShardEvents into shard-granularity Progress
+// events and the manifest's per-shard timing records. Fleet workers call
+// observe concurrently (including from the four parallel vantage points of
+// the fleet lab); the mutex serializes both the Progress callbacks and the
+// timing log.
+type runObserver struct {
+	mu       sync.Mutex
+	progress func(Progress)
+	next     func(fleet.ShardEvent)
+
+	id           string // current experiment identity
+	title        string
+	index, total int
+
+	vps     map[string]*vpProgress
+	timings []telemetry.ShardTiming
+}
+
+// vpProgress tracks one (experiment, vantage point) generation run.
+type vpProgress struct {
+	start   time.Time
+	records int64
+}
+
+func (o *runObserver) setCurrent(id, title string, index, total int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.id, o.title, o.index, o.total = id, title, index, total
+}
+
+func (o *runObserver) shardTimings() []telemetry.ShardTiming {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.timings
+}
+
+func (o *runObserver) observe(ev fleet.ShardEvent) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	key := o.id + "/" + ev.VP
+	if o.vps == nil {
+		o.vps = make(map[string]*vpProgress)
+	}
+	vp := o.vps[key]
+	if vp == nil {
+		// Backdate the VP's start to this first shard's own start so
+		// single-shard runs still get a meaningful rate.
+		vp = &vpProgress{start: time.Now().Add(-ev.Elapsed)}
+		o.vps[key] = vp
+	}
+	vp.records += int64(ev.Records)
+	o.timings = append(o.timings, telemetry.ShardTiming{
+		Experiment: o.id,
+		VP:         ev.VP,
+		Shard:      ev.Shard,
+		Shards:     ev.Shards,
+		Records:    int64(ev.Records),
+		Seconds:    ev.Elapsed.Seconds(),
+	})
+	if o.progress != nil {
+		p := Progress{
+			ID: o.id, Title: o.title, Index: o.index, Total: o.total,
+			VP:         ev.VP,
+			Shard:      ev.Shard,
+			Shards:     ev.Shards,
+			ShardsDone: ev.Done,
+			Records:    vp.records,
+			Elapsed:    ev.Elapsed,
+		}
+		if wall := time.Since(vp.start); wall > 0 {
+			p.RecordsPerSec = float64(vp.records) / wall.Seconds()
+			if ev.Done > 0 && ev.Done < ev.Shards {
+				// Scale elapsed wall time by remaining/completed shards:
+				// crude, but stable under the pool's parallelism because
+				// both sides saw the same worker count.
+				p.ETA = time.Duration(float64(wall) * float64(ev.Shards-ev.Done) / float64(ev.Done))
+			}
+		}
+		o.progress(p)
+	}
+	if o.next != nil {
+		o.next(ev)
+	}
+}
+
+// specProvenance flattens the run's effective configuration for the
+// manifest.
+func specProvenance(spec Spec, sel []Experiment) map[string]string {
+	ids := make([]string, len(sel))
+	for i, e := range sel {
+		ids[i] = e.ID
+	}
+	m := map[string]string{
+		"seed":          strconv.FormatInt(spec.Seed, 10),
+		"shards":        strconv.Itoa(max(spec.Fleet.Shards, 1)),
+		"workers":       strconv.Itoa(spec.Fleet.Workers),
+		"scale_campus1": strconv.FormatFloat(spec.Scale.Campus1, 'g', -1, 64),
+		"experiments":   strings.Join(ids, ","),
+	}
+	if spec.Quick {
+		m["quick"] = "true"
+	}
+	if spec.SkipPacket {
+		m["skip_packet"] = "true"
+	}
+	if spec.FleetScale > 0 {
+		m["fleet_scale"] = strconv.FormatFloat(spec.FleetScale, 'g', -1, 64)
+	}
+	if len(spec.Profiles) > 0 {
+		m["profiles"] = strconv.Itoa(len(spec.Profiles))
+	}
+	return m
+}
+
+// writeManifest saves the run manifest into dir (creating it — a failed
+// run may not have written any results yet).
+func writeManifest(dir string, m *telemetry.Manifest) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return m.Save(filepath.Join(dir, telemetry.ManifestFile))
+}
+
 // annotate attaches the run's provenance metadata to a result, in a fixed
-// key order WriteResults preserves.
-func annotate(r *Result, spec Spec) {
+// key order WriteResults preserves. The environment and timing keys come
+// after the legacy ones, so consumers reading a meta prefix are
+// undisturbed.
+func annotate(r *Result, spec Spec, elapsed time.Duration) {
 	if r == nil || len(r.Meta) > 0 {
 		return
 	}
@@ -252,6 +462,9 @@ func annotate(r *Result, spec Spec) {
 	if spec.Quick {
 		r.AddMeta("quick", "true")
 	}
+	r.AddMeta("go_version", runtime.Version())
+	r.AddMeta("gomaxprocs", strconv.Itoa(runtime.GOMAXPROCS(0)))
+	r.AddMeta("duration", elapsed.Round(time.Millisecond).String())
 }
 
 // ---------- ctx-aware campaign and lab entry points ----------

@@ -93,7 +93,8 @@ func TestRunSelection(t *testing.T) {
 }
 
 // TestRunProgressAndResultsDir checks the observer contract and the
-// rendered output directory, including the meta section ordering.
+// rendered output directory, including the meta section ordering and the
+// run manifest.
 func TestRunProgressAndResultsDir(t *testing.T) {
 	dir := t.TempDir()
 	var events []Progress
@@ -104,11 +105,52 @@ func TestRunProgressAndResultsDir(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(events) != 2 || events[0].Done || !events[1].Done || events[0].ID != "table3" {
-		t.Fatalf("progress events: %+v", events)
+	// The experiment-granularity contract: exactly one start and one
+	// terminal event, in order, with shard events only in between.
+	var exp []Progress
+	for i, p := range events {
+		if p.ShardEvent() {
+			if i == 0 || i == len(events)-1 {
+				t.Fatalf("shard event outside the experiment bracket: %+v", p)
+			}
+			if p.VP == "" || p.Records <= 0 || p.ShardsDone < 1 {
+				t.Fatalf("malformed shard event: %+v", p)
+			}
+			continue
+		}
+		exp = append(exp, p)
 	}
-	if events[0].Index != 1 || events[0].Total != 1 {
-		t.Fatalf("progress indexing: %+v", events[0])
+	if len(exp) != 2 || exp[0].Done || !exp[1].Done || exp[0].ID != "table3" {
+		t.Fatalf("experiment events: %+v", exp)
+	}
+	if exp[0].Index != 1 || exp[0].Total != 1 {
+		t.Fatalf("progress indexing: %+v", exp[0])
+	}
+	if exp[1].Err != nil || exp[1].Elapsed <= 0 {
+		t.Fatalf("terminal event: %+v", exp[1])
+	}
+	// table3 generates all four vantage points, one shard each.
+	if n := len(events) - len(exp); n != 4 {
+		t.Fatalf("got %d shard events, want 4", n)
+	}
+
+	// Every ResultsDir run writes a validating manifest with shard
+	// timings, experiment timings and a counter snapshot.
+	m, err := LoadRunManifest(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Seed != 3 || len(m.Experiments) != 1 || m.Experiments[0].ID != "table3" {
+		t.Fatalf("manifest experiments: %+v", m.Experiments)
+	}
+	if len(m.Shards) != 4 {
+		t.Fatalf("manifest shard timings: %+v", m.Shards)
+	}
+	if m.Telemetry.Counters["fleet.records"] == 0 {
+		t.Fatalf("manifest counter snapshot missing fleet.records: %+v", m.Telemetry.Counters)
+	}
+	if m.Spec["experiments"] != "table3" || m.Spec["seed"] != "3" {
+		t.Fatalf("manifest spec: %+v", m.Spec)
 	}
 	body, err := os.ReadFile(filepath.Join(dir, "table3.txt"))
 	if err != nil {
@@ -122,6 +164,38 @@ func TestRunProgressAndResultsDir(t *testing.T) {
 	}
 	if !strings.Contains(txt, "seed = 3") {
 		t.Fatalf("meta section missing seed:\n%s", txt)
+	}
+}
+
+// TestRunFailureEmitsTerminalEvent pins the failure-path observer
+// contract: a failed experiment still emits its terminal Progress event,
+// with Err set, so observers can't hang waiting for experiment N of M.
+func TestRunFailureEmitsTerminalEvent(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var events []Progress
+	_, err := Run(ctx, Spec{Seed: 5, Scale: goldenScale},
+		WithExperiments("table1", "table2"),
+		WithProgress(func(p Progress) {
+			events = append(events, p)
+			// Cancel as table2 starts, after Run's pre-experiment ctx
+			// check: the experiment itself fails.
+			if p.ID == "table2" && !p.ShardEvent() && !p.Done {
+				cancel()
+			}
+		}))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no progress events")
+	}
+	last := events[len(events)-1]
+	if !last.Done || last.ID != "table2" || last.Err == nil {
+		t.Fatalf("missing terminal failure event: %+v", last)
+	}
+	if !errors.Is(last.Err, context.Canceled) {
+		t.Fatalf("terminal event error = %v", last.Err)
 	}
 }
 
