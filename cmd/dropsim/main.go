@@ -1,17 +1,26 @@
 // Command dropsim generates one vantage point's 42-day flow-record dataset
 // through the sharded fleet engine and writes it as anonymized CSV (the
-// format of the paper's public trace release) or as the binary columnar
-// trace format (-format=binary, ~3.5x smaller and allocation-free on write),
-// or — with -summary — reduces it to streaming aggregates without ever
-// materializing records.
+// format of the paper's public trace release), as the binary columnar
+// trace format (-format=binary, ~3.5x smaller and allocation-free on
+// write), or as the compressed archival tier (-format=binary-flate:
+// flate-framed binary blocks with a trailing seek index, so readers can
+// re-stream any record range without decompressing the file) — or, with
+// -summary, reduces it to streaming aggregates without ever materializing
+// records.
 //
 // Usage:
 //
 //	dropsim [-vp campus1|campus2|home1|home2] [-scale F] [-seed N]
 //	        [-shards N] [-workers N] [-devices-scale F]
-//	        [-profile NAME] [-format csv|binary] [-summary] [-o FILE]
+//	        [-profile NAME] [-format csv|binary|binary-flate]
+//	        [-serialize-workers N] [-summary] [-o FILE]
 //	        [-manifest FILE] [-pprof ADDR] [-cpuprofile FILE]
 //	        [-memprofile FILE] [-telemetry-interval DUR]
+//
+// -serialize-workers spreads binary/binary-flate block encoding over a
+// worker pool (0 = GOMAXPROCS). Serialization parallelism never changes
+// the output: the stream is byte-identical for every worker count, so
+// the manifest stream hash is stable across -serialize-workers settings.
 //
 // -manifest writes a run manifest (the schema-versioned JSON of
 // insidedropbox.RunManifest) with the FNV-1a hash of the serialized
@@ -47,6 +56,7 @@ import (
 	"hash/fnv"
 	"io"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -66,15 +76,16 @@ func main() {
 	devScale := flag.Float64("devices-scale", 1, "population multiplier on top of -scale")
 	profile := flag.String("profile", "", "capability profile overriding the VP's client version: "+
 		strings.Join(insidedropbox.CapabilityNames(), "|"))
-	format := flag.String("format", "csv", "trace format: csv (public-release compatible) or binary (columnar, ~3.5x smaller)")
+	format := flag.String("format", "csv", "trace format: csv (public-release compatible), binary (columnar, ~3.5x smaller), or binary-flate (compressed archival with seek index)")
+	serWorkers := flag.Int("serialize-workers", 0, "block-encoding workers for binary formats (0 = GOMAXPROCS; never changes output bytes)")
 	summary := flag.Bool("summary", false, "print streaming aggregates instead of trace records")
 	out := flag.String("o", "", "output file (default stdout)")
 	manifest := flag.String("manifest", "", "write a run manifest (stream hash, shard timings, telemetry snapshot) to this file")
 	prof := cli.BindProfile(flag.CommandLine)
 	flag.Parse()
 
-	if *format != "csv" && *format != "binary" {
-		fmt.Fprintf(os.Stderr, "unknown format %q (valid: csv, binary)\n", *format)
+	if *format != "csv" && *format != "binary" && *format != "binary-flate" {
+		fmt.Fprintf(os.Stderr, "unknown format %q (valid: csv, binary, binary-flate)\n", *format)
 		os.Exit(2)
 	}
 
@@ -139,7 +150,7 @@ func main() {
 		return
 	}
 
-	stats, volume, err := streamTraces(ctx, cfg, *seed, fc, w, *format)
+	stats, volume, err := streamTraces(ctx, cfg, *seed, fc, w, *format, *serWorkers)
 	if err != nil {
 		cli.Exit(ctx, "writing traces", err)
 	}
@@ -219,14 +230,25 @@ func printSummary(ctx context.Context, cfg insidedropbox.VPConfig, seed int64,
 // dataset. The sink latches the first write error and stops the stream; a
 // cancelled context stops it at shard granularity.
 func streamTraces(ctx context.Context, cfg insidedropbox.VPConfig, seed int64,
-	fc insidedropbox.FleetConfig, w io.Writer, format string) (insidedropbox.FleetStats, float64, error) {
+	fc insidedropbox.FleetConfig, w io.Writer, format string, serWorkers int) (insidedropbox.FleetStats, float64, error) {
 
+	if serWorkers < 1 {
+		serWorkers = runtime.GOMAXPROCS(0)
+	}
 	var bw *bufio.Writer
 	sink := &insidedropbox.WriterSink{}
-	if format == "binary" {
+	switch format {
+	case "binary":
 		bw = bufio.NewWriterSize(w, 1<<16)
-		sink.W = insidedropbox.NewBinaryTraceWriter(bw)
-	} else {
+		if serWorkers > 1 {
+			sink.W = insidedropbox.NewParallelBinaryTraceWriter(bw, serWorkers)
+		} else {
+			sink.W = insidedropbox.NewBinaryTraceWriter(bw)
+		}
+	case "binary-flate":
+		bw = bufio.NewWriterSize(w, 1<<16)
+		sink.W = insidedropbox.NewFlateTraceWriter(bw, serWorkers)
+	default:
 		sink.W = insidedropbox.NewTraceWriter(w)
 	}
 	var volume float64

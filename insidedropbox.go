@@ -109,6 +109,23 @@ type BinaryTraceWriter = traces.BinaryWriter
 // BinaryTraceReader parses binary trace streams back into records.
 type BinaryTraceReader = traces.BinaryReader
 
+// ParallelBinaryTraceWriter is the binary trace writer with block
+// encoding spread over a bounded worker pool — byte-identical output to
+// BinaryTraceWriter for every worker count, for exports where
+// serialization rather than generation is the bottleneck.
+type ParallelBinaryTraceWriter = traces.ParallelBinaryWriter
+
+// FlateTraceWriter streams flow records as the compressed archival
+// format: flate-compressed binary blocks with a trailing seek index
+// (internal/traces/flate.go documents the wire format). Flush finalizes
+// the stream.
+type FlateTraceWriter = traces.FlateWriter
+
+// FlateTraceReader reads the compressed archival format; over an
+// io.ReadSeeker it can seek straight to a record ordinal through the
+// trailing index (SeekToRecord) and re-stream from there.
+type FlateTraceReader = traces.FlateReader
+
 // RecordWriter is the sink interface both trace serializations implement;
 // format-agnostic exporters write through it.
 type RecordWriter = traces.RecordWriter
@@ -139,6 +156,31 @@ func NewBinaryTraceWriter(w io.Writer) *BinaryTraceWriter {
 // NewBinaryTraceReader wraps a binary trace stream for reading.
 func NewBinaryTraceReader(r io.Reader) *BinaryTraceReader {
 	return traces.NewBinaryReader(r)
+}
+
+// NewParallelBinaryTraceWriter returns an anonymizing parallel binary
+// trace writer encoding blocks on workers goroutines (workers < 1 means
+// 1; output is byte-identical to NewBinaryTraceWriter for every count).
+func NewParallelBinaryTraceWriter(w io.Writer, workers int) *ParallelBinaryTraceWriter {
+	tw := traces.NewParallelBinaryWriter(w, workers)
+	tw.Anonymize = true
+	return tw
+}
+
+// NewFlateTraceWriter returns an anonymizing archival trace writer:
+// flate-compressed binary blocks plus a trailing seek index (cmd/dropsim
+// -format=binary-flate). Flush finalizes the stream — archival exports
+// are written once, not appended.
+func NewFlateTraceWriter(w io.Writer, workers int) *FlateTraceWriter {
+	tw := traces.NewFlateWriter(w, workers)
+	tw.Anonymize = true
+	return tw
+}
+
+// NewFlateTraceReader wraps an archival trace stream for reading;
+// pass an io.ReadSeeker (e.g. *os.File) to enable SeekToRecord.
+func NewFlateTraceReader(r io.Reader) *FlateTraceReader {
+	return traces.NewFlateReader(r)
 }
 
 // VPConfig parameterizes a vantage point population.

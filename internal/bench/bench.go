@@ -120,7 +120,10 @@ func catalogue() []scenario {
 		{name: "whatif/campus1-2profiles", run: runWhatIf},
 		{name: "serialize/csv", setup: warmSerializeDataset, run: runSerializeCSV},
 		{name: "serialize/binary", setup: warmSerializeDataset, run: runSerializeBinary},
+		{name: "serialize/binary-parallel", setup: warmSerializeDataset, run: runSerializeBinaryParallel},
+		{name: "serialize/flate", setup: warmSerializeDataset, run: runSerializeFlate},
 		{name: "export/home1-8shard-binary", run: runExportBinary},
+		{name: "export/home1-8shard-binary-parallel", run: runExportBinaryParallel},
 	}
 }
 
@@ -376,6 +379,60 @@ func runSerializeBinary(ctx context.Context, quick bool) (int64, int64) {
 	return n, cw.n
 }
 
+// runSerializeBinaryParallel measures the parallel binary writer at
+// GOMAXPROCS workers on the same dataset — byte-identical output to
+// serialize/binary, so the rec/s delta between the two is pure encoding
+// parallelism (zero at GOMAXPROCS=1, where the pool is overhead).
+func runSerializeBinaryParallel(ctx context.Context, quick bool) (int64, int64) {
+	ds, reps := serializeDataset(quick)
+	var cw countWriter
+	var n int64
+	for i := 0; i < reps; i++ {
+		if ctx.Err() != nil {
+			break
+		}
+		w := traces.NewParallelBinaryWriter(&cw, runtime.GOMAXPROCS(0))
+		w.Anonymize = true
+		for _, r := range ds.Records {
+			if err := w.Write(r); err != nil {
+				panic(err)
+			}
+			n++
+		}
+		if err := w.Flush(); err != nil {
+			panic(err)
+		}
+	}
+	return n, cw.n
+}
+
+// runSerializeFlate measures the compressed archival tier (flate frames
+// plus seek index) at GOMAXPROCS workers on the same dataset. Bytes are
+// post-compression, so MB/s here is not comparable to serialize/binary —
+// rec/s is the cross-format axis.
+func runSerializeFlate(ctx context.Context, quick bool) (int64, int64) {
+	ds, reps := serializeDataset(quick)
+	var cw countWriter
+	var n int64
+	for i := 0; i < reps; i++ {
+		if ctx.Err() != nil {
+			break
+		}
+		w := traces.NewFlateWriter(&cw, runtime.GOMAXPROCS(0))
+		w.Anonymize = true
+		for _, r := range ds.Records {
+			if err := w.Write(r); err != nil {
+				panic(err)
+			}
+			n++
+		}
+		if err := w.Flush(); err != nil {
+			panic(err)
+		}
+	}
+	return n, cw.n
+}
+
 // runExportBinary measures the flagship end-to-end path: 8-shard ordered
 // streaming through the Records iterator straight into the binary writer,
 // nothing materialized.
@@ -390,6 +447,40 @@ func runExportBinary(ctx context.Context, quick bool) (int64, int64) {
 			break
 		}
 		w := traces.NewBinaryWriter(&cw)
+		w.Anonymize = true
+		for r, err := range fleet.Records(ctx, cfg, benchSeed, fleet.Config{Shards: 8}) {
+			if err != nil {
+				return n, cw.n
+			}
+			if err := w.Write(r); err != nil {
+				panic(err)
+			}
+			n++
+		}
+		if err := w.Flush(); err != nil {
+			panic(err)
+		}
+	}
+	return n, cw.n
+}
+
+// runExportBinaryParallel is runExportBinary with block encoding spread
+// over GOMAXPROCS workers — the configuration dropsim -format=binary
+// -serialize-workers uses, and the scenario that shows serialization
+// keeping up with generation on multi-core machines (the output bytes
+// are identical to export/home1-8shard-binary by the determinism
+// contract).
+func runExportBinaryParallel(ctx context.Context, quick bool) (int64, int64) {
+	scale, reps := scalesFor(quick)
+	reps = (reps + 1) / 2
+	cfg := workload.Home1(scale)
+	var cw countWriter
+	var n int64
+	for i := 0; i < reps; i++ {
+		if ctx.Err() != nil {
+			break
+		}
+		w := traces.NewParallelBinaryWriter(&cw, runtime.GOMAXPROCS(0))
 		w.Anonymize = true
 		for r, err := range fleet.Records(ctx, cfg, benchSeed, fleet.Config{Shards: 8}) {
 			if err != nil {

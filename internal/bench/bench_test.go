@@ -8,7 +8,7 @@ import (
 	"testing"
 )
 
-// TestRunSerializeScenarios runs the two serialization scenarios at quick
+// TestRunSerializeScenarios runs the serialization scenarios at quick
 // scale: the harness must produce populated, internally consistent
 // measurements.
 func TestRunSerializeScenarios(t *testing.T) {
@@ -17,8 +17,8 @@ func TestRunSerializeScenarios(t *testing.T) {
 		Rev:    "test",
 		Filter: func(name string) bool { return strings.HasPrefix(name, "serialize/") },
 	})
-	if len(rep.Scenarios) != 2 {
-		t.Fatalf("got %d scenarios, want 2", len(rep.Scenarios))
+	if len(rep.Scenarios) != 4 {
+		t.Fatalf("got %d scenarios, want 4", len(rep.Scenarios))
 	}
 	for _, s := range rep.Scenarios {
 		if s.Records == 0 || s.Seconds <= 0 || s.RecordsPerSec <= 0 {
@@ -35,6 +35,24 @@ func TestRunSerializeScenarios(t *testing.T) {
 	// The binary format's core size claim, pinned at harness level.
 	if ratio := float64(csv.Bytes) / float64(bin.Bytes); ratio < 3 {
 		t.Fatalf("binary output only %.2fx smaller than CSV, want >= 3x", ratio)
+	}
+	// The parallel writer emits byte-identical streams, so per-rep volume
+	// must match the sequential writer exactly.
+	par := rep.Scenario("serialize/binary-parallel")
+	if par == nil {
+		t.Fatal("serialize/binary-parallel missing")
+	}
+	if par.Bytes != bin.Bytes || par.Records != bin.Records {
+		t.Fatalf("parallel scenario volume %d bytes/%d recs differs from sequential %d/%d",
+			par.Bytes, par.Records, bin.Bytes, bin.Records)
+	}
+	// And the archival tier's size claim: flate frames beat raw binary.
+	fl := rep.Scenario("serialize/flate")
+	if fl == nil {
+		t.Fatal("serialize/flate missing")
+	}
+	if fl.Bytes >= bin.Bytes {
+		t.Fatalf("flate output %d bytes not smaller than raw binary %d", fl.Bytes, bin.Bytes)
 	}
 }
 

@@ -50,13 +50,17 @@ package traces
 // the CSV format prints as "h%012x". Readers of anonymized streams return
 // Client == 0, matching the CSV reader's behaviour on anonymized rows.
 //
+// The block encoder and decoder themselves live in block.go (blockAccum /
+// decodeBlockBody) and are shared verbatim with the parallel writer
+// (parallel.go) and the flate archival framing (flate.go) — the framings
+// differ, the block bytes never do.
+//
 // # Ownership
 //
 // BinaryWriter.Write copies everything it needs out of the record before
 // returning: callers may recycle the *FlowRecord (and its
 // NotifyNamespaces backing array) immediately, which is what the fleet
-// engine's record pool does. Retained string fields are immutable Go
-// strings, so sharing them is safe. BinaryReader.Read returns freshly
+// engine's record pool does. BinaryReader.Read returns freshly
 // allocated records that do not alias reader state.
 
 import (
@@ -65,9 +69,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"time"
-
-	"insidedropbox/internal/wire"
 )
 
 // binaryMagic opens every binary trace stream.
@@ -79,82 +80,6 @@ var binaryMagic = [6]byte{'I', 'D', 'B', 'T', '1', '\n'}
 const DefaultBlockRecords = 4096
 
 const anonFlag = 1 << 0
-
-// dictCol accumulates one dictionary-encoded string column for the block
-// being built. All storage is reused across blocks.
-type dictCol struct {
-	idx     map[string]uint32
-	entries []string
-	refs    []uint32
-}
-
-func (d *dictCol) add(s string) {
-	if d.idx == nil {
-		d.idx = make(map[string]uint32)
-	}
-	i, ok := d.idx[s]
-	if !ok {
-		i = uint32(len(d.entries))
-		d.idx[s] = i
-		d.entries = append(d.entries, s)
-	}
-	d.refs = append(d.refs, i)
-}
-
-func (d *dictCol) reset() {
-	clear(d.idx)
-	d.entries = d.entries[:0]
-	d.refs = d.refs[:0]
-}
-
-func (d *dictCol) encode(buf []byte) []byte {
-	buf = binary.AppendUvarint(buf, uint64(len(d.entries)))
-	for _, s := range d.entries {
-		buf = binary.AppendUvarint(buf, uint64(len(s)))
-		buf = append(buf, s...)
-	}
-	for _, r := range d.refs {
-		buf = binary.AppendUvarint(buf, uint64(r))
-	}
-	return buf
-}
-
-// dictU64 is dictCol over numeric values (the address columns).
-type dictU64 struct {
-	idx     map[uint64]uint32
-	entries []uint64
-	refs    []uint32
-}
-
-func (d *dictU64) add(v uint64) {
-	if d.idx == nil {
-		d.idx = make(map[uint64]uint32)
-	}
-	i, ok := d.idx[v]
-	if !ok {
-		i = uint32(len(d.entries))
-		d.idx[v] = i
-		d.entries = append(d.entries, v)
-	}
-	d.refs = append(d.refs, i)
-}
-
-func (d *dictU64) reset() {
-	clear(d.idx)
-	d.entries = d.entries[:0]
-	d.refs = d.refs[:0]
-}
-
-func (d *dictU64) encode(buf []byte) []byte {
-	buf = binary.AppendUvarint(buf, uint64(len(d.entries)))
-	for _, v := range d.entries {
-		buf = binary.AppendUvarint(buf, v)
-	}
-	for _, r := range d.refs {
-		buf = binary.AppendUvarint(buf, uint64(r))
-	}
-	return buf
-}
 
 // BinaryWriter streams flow records in the binary columnar format.
 // Methods must not be called concurrently. Records are buffered into
@@ -171,26 +96,9 @@ type BinaryWriter struct {
 
 	wroteHeader bool
 	err         error
-	n           int
 
-	// Column accumulators for the block under construction; all reused.
-	client, server     dictU64
-	cport, sport       []uint64
-	first, last        []int64
-	lpUp, lpDown       []int64
-	bytesUp, bytesDown []int64
-	pktsUp, pktsDown   []int64
-	pshUp, pshDown     []int64
-	retrUp, retrDown   []int64
-	minRTT, rttSamples []int64
-	notifyHost         []uint64
-	nsCount            []uint64
-	nsVals             []uint64
-	flags              []byte
-	vp, sni, cert      dictCol
-	fqdn               dictCol
-
-	buf []byte // block encode scratch
+	acc blockAccum // block under construction; storage reused
+	buf []byte     // block encode scratch
 }
 
 // NewBinaryWriter wraps w.
@@ -203,17 +111,23 @@ func (w *BinaryWriter) blockTarget() int {
 	return DefaultBlockRecords
 }
 
+// writeBinaryHeader emits the 7-byte stream header.
+func writeBinaryHeader(w io.Writer, anonymize bool) error {
+	var hdr [7]byte
+	copy(hdr[:], binaryMagic[:])
+	if anonymize {
+		hdr[6] |= anonFlag
+	}
+	_, err := w.Write(hdr[:])
+	return err
+}
+
 // writeHeader emits the stream header once.
 func (w *BinaryWriter) writeHeader() error {
 	if w.wroteHeader || w.err != nil {
 		return w.err
 	}
-	var hdr [7]byte
-	copy(hdr[:], binaryMagic[:])
-	if w.Anonymize {
-		hdr[6] |= anonFlag
-	}
-	if _, err := w.w.Write(hdr[:]); err != nil {
+	if err := writeBinaryHeader(w.w, w.Anonymize); err != nil {
 		w.err = err
 		return err
 	}
@@ -226,53 +140,8 @@ func (w *BinaryWriter) Write(r *FlowRecord) error {
 	if err := w.writeHeader(); err != nil {
 		return err
 	}
-	if w.Anonymize {
-		w.client.add(anonToken(r.Client))
-	} else {
-		w.client.add(uint64(uint32(r.Client)))
-	}
-	w.server.add(uint64(uint32(r.Server)))
-	w.cport = append(w.cport, uint64(r.ClientPort))
-	w.sport = append(w.sport, uint64(r.ServerPort))
-	w.first = append(w.first, int64(r.FirstPacket))
-	w.last = append(w.last, int64(r.LastPacket-r.FirstPacket))
-	w.lpUp = append(w.lpUp, int64(r.LastPayloadUp-r.LastPacket))
-	w.lpDown = append(w.lpDown, int64(r.LastPayloadDown-r.LastPacket))
-	w.bytesUp = append(w.bytesUp, r.BytesUp)
-	w.bytesDown = append(w.bytesDown, r.BytesDown)
-	w.pktsUp = append(w.pktsUp, int64(r.PktsUp))
-	w.pktsDown = append(w.pktsDown, int64(r.PktsDown))
-	w.pshUp = append(w.pshUp, int64(r.PSHUp))
-	w.pshDown = append(w.pshDown, int64(r.PSHDown))
-	w.retrUp = append(w.retrUp, int64(r.RetransUp))
-	w.retrDown = append(w.retrDown, int64(r.RetransDown))
-	w.minRTT = append(w.minRTT, int64(r.MinRTT))
-	w.rttSamples = append(w.rttSamples, int64(r.RTTSamples))
-	w.notifyHost = append(w.notifyHost, r.NotifyHost)
-	w.nsCount = append(w.nsCount, uint64(len(r.NotifyNamespaces)))
-	for _, ns := range r.NotifyNamespaces {
-		w.nsVals = append(w.nsVals, uint64(ns))
-	}
-	var fl byte
-	if r.SawSYN {
-		fl |= 1 << 0
-	}
-	if r.SawFIN {
-		fl |= 1 << 1
-	}
-	if r.SawRST {
-		fl |= 1 << 2
-	}
-	if r.ServerClosed {
-		fl |= 1 << 3
-	}
-	w.flags = append(w.flags, fl)
-	w.vp.add(r.VP)
-	w.sni.add(r.SNI)
-	w.cert.add(r.CertName)
-	w.fqdn.add(r.FQDN)
-	w.n++
-	if w.n >= w.blockTarget() {
+	w.acc.add(r, w.Anonymize)
+	if w.acc.n >= w.blockTarget() {
 		return w.flushBlock()
 	}
 	return nil
@@ -283,7 +152,7 @@ func (w *BinaryWriter) flushBlock() error {
 	if w.err != nil {
 		return w.err
 	}
-	if w.n == 0 {
+	if w.acc.n == 0 {
 		return nil
 	}
 	// Reserve prefix room up front, encode the body after it, then write
@@ -293,53 +162,7 @@ func (w *BinaryWriter) flushBlock() error {
 	if cap(w.buf) < pfxReserve {
 		w.buf = make([]byte, pfxReserve)
 	}
-	buf := w.buf[:pfxReserve]
-	body := binary.AppendUvarint(buf, uint64(w.n))
-	body = w.client.encode(body)
-	body = w.server.encode(body)
-	for _, v := range w.cport {
-		body = binary.AppendUvarint(body, v)
-	}
-	for _, v := range w.sport {
-		body = binary.AppendUvarint(body, v)
-	}
-	prev := int64(0)
-	for _, v := range w.first {
-		body = binary.AppendVarint(body, v-prev)
-		prev = v
-	}
-	for _, v := range w.last {
-		body = binary.AppendVarint(body, v)
-	}
-	for _, v := range w.lpUp {
-		body = binary.AppendVarint(body, v)
-	}
-	for _, v := range w.lpDown {
-		body = binary.AppendVarint(body, v)
-	}
-	for _, col := range [...][]int64{
-		w.bytesUp, w.bytesDown, w.pktsUp, w.pktsDown,
-		w.pshUp, w.pshDown, w.retrUp, w.retrDown,
-		w.minRTT, w.rttSamples,
-	} {
-		for _, v := range col {
-			body = binary.AppendVarint(body, v)
-		}
-	}
-	body = w.vp.encode(body)
-	body = w.sni.encode(body)
-	body = w.cert.encode(body)
-	body = w.fqdn.encode(body)
-	for _, v := range w.notifyHost {
-		body = binary.AppendUvarint(body, v)
-	}
-	for _, v := range w.nsCount {
-		body = binary.AppendUvarint(body, v)
-	}
-	for _, v := range w.nsVals {
-		body = binary.AppendUvarint(body, v)
-	}
-	body = append(body, w.flags...)
+	body := w.acc.encodeBody(w.buf[:pfxReserve])
 	w.buf = body // keep the grown scratch
 
 	var pfx [binary.MaxVarintLen64]byte
@@ -351,40 +174,10 @@ func (w *BinaryWriter) flushBlock() error {
 		return err
 	}
 	mBinBlocks.Inc()
-	mBinRecords.Add(uint64(w.n))
+	mBinRecords.Add(uint64(w.acc.n))
 	mBinBytes.Add(uint64(len(body) - start))
-	w.resetBlock()
+	w.acc.reset()
 	return nil
-}
-
-func (w *BinaryWriter) resetBlock() {
-	w.n = 0
-	w.client.reset()
-	w.server.reset()
-	w.cport = w.cport[:0]
-	w.sport = w.sport[:0]
-	w.first = w.first[:0]
-	w.last = w.last[:0]
-	w.lpUp = w.lpUp[:0]
-	w.lpDown = w.lpDown[:0]
-	w.bytesUp = w.bytesUp[:0]
-	w.bytesDown = w.bytesDown[:0]
-	w.pktsUp = w.pktsUp[:0]
-	w.pktsDown = w.pktsDown[:0]
-	w.pshUp = w.pshUp[:0]
-	w.pshDown = w.pshDown[:0]
-	w.retrUp = w.retrUp[:0]
-	w.retrDown = w.retrDown[:0]
-	w.minRTT = w.minRTT[:0]
-	w.rttSamples = w.rttSamples[:0]
-	w.notifyHost = w.notifyHost[:0]
-	w.nsCount = w.nsCount[:0]
-	w.nsVals = w.nsVals[:0]
-	w.flags = w.flags[:0]
-	w.vp.reset()
-	w.sni.reset()
-	w.cert.reset()
-	w.fqdn.reset()
 }
 
 // Flush writes any partially filled block — and the stream header, so a
@@ -401,109 +194,28 @@ func (w *BinaryWriter) Flush() error {
 	return w.err
 }
 
-// bdec is a cursor over one decoded block body.
-type bdec struct {
-	b   []byte
-	off int
-	err error
-}
-
-func (d *bdec) uvarint() uint64 {
-	if d.err != nil {
-		return 0
+// readExact reads exactly n bytes from r, reusing scratch when it is
+// large enough and otherwise growing the buffer incrementally while the
+// bytes actually arrive — so a corrupt multi-GB length prefix costs a
+// read error, not a multi-GB up-front allocation (the fuzz targets hit
+// exactly that). The returned slice aliases scratch when possible.
+func readExact(r io.Reader, scratch []byte, n int) ([]byte, error) {
+	if cap(scratch) >= n {
+		b := scratch[:n]
+		_, err := io.ReadFull(r, b)
+		return b, err
 	}
-	v, n := binary.Uvarint(d.b[d.off:])
-	if n <= 0 {
-		d.err = errors.New("traces: corrupt binary block (uvarint)")
-		return 0
-	}
-	d.off += n
-	return v
-}
-
-func (d *bdec) varint() int64 {
-	if d.err != nil {
-		return 0
-	}
-	v, n := binary.Varint(d.b[d.off:])
-	if n <= 0 {
-		d.err = errors.New("traces: corrupt binary block (varint)")
-		return 0
-	}
-	d.off += n
-	return v
-}
-
-func (d *bdec) bytes(n int) []byte {
-	if d.err != nil {
-		return nil
-	}
-	// n comes straight from an untrusted uvarint: compare against the
-	// remaining length by subtraction so a huge n cannot overflow the
-	// check and panic the slice below.
-	if n < 0 || n > len(d.b)-d.off {
-		d.err = errors.New("traces: corrupt binary block (bytes)")
-		return nil
-	}
-	b := d.b[d.off : d.off+n]
-	d.off += n
-	return b
-}
-
-// dictU64Vals decodes a numeric dictionary column into one value per
-// record, using (and returning) the caller's entry scratch.
-func (d *bdec) dictU64Vals(n int, scratch []uint64) (vals, entries []uint64) {
-	dl := int(d.uvarint())
-	if d.err != nil || dl > len(d.b) {
-		if d.err == nil {
-			d.err = errors.New("traces: corrupt binary block (u64 dict)")
+	const chunk = 1 << 20
+	b := scratch[:0]
+	for len(b) < n {
+		take := min(n-len(b), chunk)
+		off := len(b)
+		b = append(b, make([]byte, take)...)
+		if _, err := io.ReadFull(r, b[off:off+take]); err != nil {
+			return b, err
 		}
-		return nil, scratch
 	}
-	entries = scratch[:0]
-	for i := 0; i < dl; i++ {
-		entries = append(entries, d.uvarint())
-	}
-	vals = make([]uint64, n)
-	for i := range vals {
-		ref := d.uvarint()
-		if d.err != nil {
-			return nil, entries
-		}
-		if ref >= uint64(len(entries)) {
-			d.err = errors.New("traces: corrupt binary block (u64 dict ref)")
-			return nil, entries
-		}
-		vals[i] = entries[ref]
-	}
-	return vals, entries
-}
-
-func (d *bdec) dict(n int, scratch []string) ([]string, []string) {
-	dl := int(d.uvarint())
-	if d.err != nil || dl > len(d.b) {
-		if d.err == nil {
-			d.err = errors.New("traces: corrupt binary block (dict)")
-		}
-		return nil, scratch
-	}
-	entries := scratch[:0]
-	for i := 0; i < dl; i++ {
-		entries = append(entries, string(d.bytes(int(d.uvarint()))))
-	}
-	vals := make([]string, n)
-	for i := range vals {
-		ref := d.uvarint()
-		if d.err != nil {
-			return nil, entries
-		}
-		if ref >= uint64(len(entries)) {
-			d.err = errors.New("traces: corrupt binary block (dict ref)")
-			return nil, entries
-		}
-		vals[i] = entries[ref]
-	}
-	return vals, entries
+	return b, nil
 }
 
 // BinaryReader parses a binary columnar trace stream back into records.
@@ -516,9 +228,8 @@ type BinaryReader struct {
 	recs []*FlowRecord // decoded records of the current block
 	next int
 
-	body    []byte   // block read scratch
-	scratch []string // string dict decode scratch
-	u64s    []uint64 // numeric dict decode scratch
+	body []byte          // block read scratch
+	sc   blockDecScratch // dictionary decode scratch
 }
 
 // NewBinaryReader wraps r.
@@ -530,6 +241,22 @@ func NewBinaryReader(r io.Reader) *BinaryReader {
 // (meaningful after the first Read).
 func (r *BinaryReader) Anonymized() bool { return r.anon }
 
+// readBinaryHeader consumes and validates the 7-byte stream header,
+// returning the anonymize flag.
+func readBinaryHeader(br *bufio.Reader) (anon bool, err error) {
+	var hdr [7]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return false, fmt.Errorf("traces: reading binary header: %w", err)
+	}
+	if [6]byte(hdr[:6]) != binaryMagic {
+		return false, errors.New("traces: not a binary trace stream (bad magic)")
+	}
+	return hdr[6]&anonFlag != 0, nil
+}
+
 // Read returns the next record, or io.EOF at end of stream. Returned
 // records are freshly allocated and do not alias reader state.
 func (r *BinaryReader) Read() (*FlowRecord, error) {
@@ -537,19 +264,12 @@ func (r *BinaryReader) Read() (*FlowRecord, error) {
 		return nil, r.err
 	}
 	if !r.header {
-		var hdr [7]byte
-		if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
-			if err == io.EOF || err == io.ErrUnexpectedEOF {
-				err = io.ErrUnexpectedEOF
-			}
-			r.err = fmt.Errorf("traces: reading binary header: %w", err)
+		anon, err := readBinaryHeader(r.r)
+		if err != nil {
+			r.err = err
 			return nil, r.err
 		}
-		if [6]byte(hdr[:6]) != binaryMagic {
-			r.err = errors.New("traces: not a binary trace stream (bad magic)")
-			return nil, r.err
-		}
-		r.anon = hdr[6]&anonFlag != 0
+		r.anon = anon
 		r.header = true
 	}
 	for r.next >= len(r.recs) {
@@ -576,145 +296,14 @@ func (r *BinaryReader) readBlock() error {
 	if bodyLen == 0 || bodyLen > 1<<31 {
 		return fmt.Errorf("traces: implausible block length %d", bodyLen)
 	}
-	if cap(r.body) < int(bodyLen) {
-		r.body = make([]byte, bodyLen)
-	}
-	body := r.body[:bodyLen]
-	if _, err := io.ReadFull(r.r, body); err != nil {
+	body, err := readExact(r.r, r.body, int(bodyLen))
+	r.body = body[:0]
+	if err != nil {
 		return fmt.Errorf("traces: reading block body: %w", err)
 	}
-	d := &bdec{b: body}
-	n := int(d.uvarint())
-	if d.err != nil {
-		return d.err
-	}
-	if n <= 0 || n > int(bodyLen) {
-		return fmt.Errorf("traces: implausible block record count %d", n)
-	}
-	recs := make([]*FlowRecord, n)
-	backing := make([]FlowRecord, n)
-	for i := range recs {
-		recs[i] = &backing[i]
-	}
-	var clients, servers []uint64
-	clients, r.u64s = d.dictU64Vals(n, r.u64s)
-	if !r.anon && clients != nil {
-		for i := range recs {
-			recs[i].Client = wire.IP(uint32(clients[i]))
-		}
-	}
-	servers, r.u64s = d.dictU64Vals(n, r.u64s)
-	for i := range recs {
-		if servers != nil {
-			recs[i].Server = wire.IP(uint32(servers[i]))
-		}
-	}
-	for i := range recs {
-		recs[i].ClientPort = uint16(d.uvarint())
-	}
-	for i := range recs {
-		recs[i].ServerPort = uint16(d.uvarint())
-	}
-	prev := int64(0)
-	for i := range recs {
-		prev += d.varint()
-		recs[i].FirstPacket = time.Duration(prev)
-	}
-	for i := range recs {
-		recs[i].LastPacket = recs[i].FirstPacket + time.Duration(d.varint())
-	}
-	for i := range recs {
-		recs[i].LastPayloadUp = recs[i].LastPacket + time.Duration(d.varint())
-	}
-	for i := range recs {
-		recs[i].LastPayloadDown = recs[i].LastPacket + time.Duration(d.varint())
-	}
-	for i := range recs {
-		recs[i].BytesUp = d.varint()
-	}
-	for i := range recs {
-		recs[i].BytesDown = d.varint()
-	}
-	for i := range recs {
-		recs[i].PktsUp = int(d.varint())
-	}
-	for i := range recs {
-		recs[i].PktsDown = int(d.varint())
-	}
-	for i := range recs {
-		recs[i].PSHUp = int(d.varint())
-	}
-	for i := range recs {
-		recs[i].PSHDown = int(d.varint())
-	}
-	for i := range recs {
-		recs[i].RetransUp = int(d.varint())
-	}
-	for i := range recs {
-		recs[i].RetransDown = int(d.varint())
-	}
-	for i := range recs {
-		recs[i].MinRTT = time.Duration(d.varint())
-	}
-	for i := range recs {
-		recs[i].RTTSamples = int(d.varint())
-	}
-	var vals []string
-	vals, r.scratch = d.dict(n, r.scratch)
-	for i := range recs {
-		if vals != nil {
-			recs[i].VP = vals[i]
-		}
-	}
-	vals, r.scratch = d.dict(n, r.scratch)
-	for i := range recs {
-		if vals != nil {
-			recs[i].SNI = vals[i]
-		}
-	}
-	vals, r.scratch = d.dict(n, r.scratch)
-	for i := range recs {
-		if vals != nil {
-			recs[i].CertName = vals[i]
-		}
-	}
-	vals, r.scratch = d.dict(n, r.scratch)
-	for i := range recs {
-		if vals != nil {
-			recs[i].FQDN = vals[i]
-		}
-	}
-	for i := range recs {
-		recs[i].NotifyHost = d.uvarint()
-	}
-	counts := make([]int, n)
-	for i := range counts {
-		counts[i] = int(d.uvarint())
-		if d.err == nil && counts[i] > int(bodyLen) {
-			d.err = errors.New("traces: corrupt binary block (ns count)")
-		}
-	}
-	for i := range recs {
-		if c := counts[i]; c > 0 && d.err == nil {
-			ns := make([]uint32, c)
-			for j := range ns {
-				ns[j] = uint32(d.uvarint())
-			}
-			recs[i].NotifyNamespaces = ns
-		}
-	}
-	flags := d.bytes(n)
-	if d.err != nil {
-		return d.err
-	}
-	for i, fl := range flags {
-		recs[i].SawSYN = fl&(1<<0) != 0
-		recs[i].SawFIN = fl&(1<<1) != 0
-		recs[i].SawRST = fl&(1<<2) != 0
-		recs[i].ServerClosed = fl&(1<<3) != 0
-	}
-	if d.off != len(body) {
-		return fmt.Errorf("traces: %d trailing bytes in block", len(body)-d.off)
+	recs, err := decodeBlockBody(body, r.anon, &r.sc)
+	if err != nil {
+		return err
 	}
 	r.recs = recs
 	r.next = 0

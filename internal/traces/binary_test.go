@@ -2,6 +2,7 @@ package traces
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
 	"hash/fnv"
 	"io"
@@ -277,5 +278,102 @@ func TestBinaryRejectsHugeDictLength(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestBinaryBadMagic pins the header validation error.
+func TestBinaryBadMagic(t *testing.T) {
+	br := NewBinaryReader(bytes.NewReader([]byte("IDBX9\n\x00rest")))
+	if _, err := br.Read(); err == nil || err == io.EOF {
+		t.Fatalf("bad magic should fail, got %v", err)
+	}
+}
+
+// TestBinaryTruncated cuts a valid stream at every interesting boundary:
+// inside the header, inside a block length, and inside a block body. A
+// truncated stream must end in an error, never clean EOF or a panic.
+func TestBinaryTruncated(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	var buf bytes.Buffer
+	bw := NewBinaryWriter(&buf)
+	bw.BlockRecords = 100
+	for i := 0; i < 500; i++ {
+		if err := bw.Write(randRecord(rng, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	stream := buf.Bytes()
+	for _, cut := range []int{0, 1, 6, 8, 9, 40, len(stream) / 2, len(stream) - 1} {
+		br := NewBinaryReader(bytes.NewReader(stream[:cut]))
+		var err error
+		for {
+			if _, err = br.Read(); err != nil {
+				break
+			}
+		}
+		if err == io.EOF {
+			t.Fatalf("cut=%d: truncated stream read to clean EOF", cut)
+		}
+	}
+}
+
+// TestBinaryDictIndexOutOfRange rewrites a block so a record references a
+// dictionary entry past the dictionary's end; the decoder must reject it.
+func TestBinaryDictIndexOutOfRange(t *testing.T) {
+	// Hand-assemble a minimal block body: 1 record whose VP dictionary
+	// holds one entry but whose index column says entry 5.
+	body := []byte{1}            // n = 1
+	body = append(body, 1, 1)    // client dict: 1 entry, value 1
+	body = append(body, 0)       // client index[0] = 0
+	body = append(body, 1, 2, 0) // server dict: 1 entry value 2, index 0
+	// cport, sport, first, last, lpu, lpd, bytes x2, pkts x2, psh x2,
+	// retr x2, minrtt, rttsamples: 16 zero varint columns.
+	for i := 0; i < 16; i++ {
+		body = append(body, 0)
+	}
+	body = append(body, 1, 2, 'v', 'p') // VP dict: 1 entry "vp"
+	body = append(body, 5)              // VP index[0] = 5 — out of range
+	var stream bytes.Buffer
+	if err := writeBinaryHeader(&stream, false); err != nil {
+		t.Fatal(err)
+	}
+	var pfx [10]byte
+	stream.Write(pfx[:binary.PutUvarint(pfx[:], uint64(len(body)))])
+	stream.Write(body)
+	br := NewBinaryReader(bytes.NewReader(stream.Bytes()))
+	_, err := br.Read()
+	if err == nil || err == io.EOF {
+		t.Fatalf("out-of-range dictionary index should fail, got %v", err)
+	}
+}
+
+// TestBinaryTrailingGarbageInBlock pads a block body past its declared
+// columns; the decoder must flag the trailing bytes.
+func TestBinaryTrailingGarbageInBlock(t *testing.T) {
+	var buf bytes.Buffer
+	bw := NewBinaryWriter(&buf)
+	if err := bw.Write(sampleRecord()); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	stream := buf.Bytes()
+	// Re-frame the single block with 3 junk bytes appended to the body.
+	bodyLen, n := binary.Uvarint(stream[7:])
+	body := append([]byte(nil), stream[7+n:7+n+int(bodyLen)]...)
+	body = append(body, 0xde, 0xad, 0xbe)
+	var mut bytes.Buffer
+	mut.Write(stream[:7])
+	var pfx [10]byte
+	mut.Write(pfx[:binary.PutUvarint(pfx[:], uint64(len(body)))])
+	mut.Write(body)
+	br := NewBinaryReader(bytes.NewReader(mut.Bytes()))
+	_, err := br.Read()
+	if err == nil || err == io.EOF {
+		t.Fatalf("trailing bytes in block body should fail, got %v", err)
 	}
 }

@@ -1,0 +1,512 @@
+package traces
+
+// The block codec shared by every binary-framed serialization: a
+// blockAccum accumulates records column-wise and encodes one block body
+// (the `body` production of the wire format documented in binary.go);
+// decodeBlockBody reverses it. The sequential BinaryWriter, the
+// ParallelBinaryWriter worker pool and the flate archival tier all build
+// their frames from exactly these two functions, which is what makes the
+// "worker count and framing never change the decoded records" contract
+// checkable block by block.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"insidedropbox/internal/wire"
+)
+
+// dictCol accumulates one dictionary-encoded string column for the block
+// being built. All storage is reused across blocks.
+type dictCol struct {
+	idx     map[string]uint32
+	entries []string
+	refs    []uint32
+}
+
+func (d *dictCol) add(s string) {
+	if d.idx == nil {
+		d.idx = make(map[string]uint32)
+	}
+	i, ok := d.idx[s]
+	if !ok {
+		i = uint32(len(d.entries))
+		d.idx[s] = i
+		d.entries = append(d.entries, s)
+	}
+	d.refs = append(d.refs, i)
+}
+
+func (d *dictCol) reset() {
+	clear(d.idx)
+	d.entries = d.entries[:0]
+	d.refs = d.refs[:0]
+}
+
+func (d *dictCol) encode(buf []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(d.entries)))
+	for _, s := range d.entries {
+		buf = binary.AppendUvarint(buf, uint64(len(s)))
+		buf = append(buf, s...)
+	}
+	for _, r := range d.refs {
+		buf = binary.AppendUvarint(buf, uint64(r))
+	}
+	return buf
+}
+
+// dictU64 is dictCol over numeric values (the address columns).
+type dictU64 struct {
+	idx     map[uint64]uint32
+	entries []uint64
+	refs    []uint32
+}
+
+func (d *dictU64) add(v uint64) {
+	if d.idx == nil {
+		d.idx = make(map[uint64]uint32)
+	}
+	i, ok := d.idx[v]
+	if !ok {
+		i = uint32(len(d.entries))
+		d.idx[v] = i
+		d.entries = append(d.entries, v)
+	}
+	d.refs = append(d.refs, i)
+}
+
+func (d *dictU64) reset() {
+	clear(d.idx)
+	d.entries = d.entries[:0]
+	d.refs = d.refs[:0]
+}
+
+func (d *dictU64) encode(buf []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(d.entries)))
+	for _, v := range d.entries {
+		buf = binary.AppendUvarint(buf, v)
+	}
+	for _, r := range d.refs {
+		buf = binary.AppendUvarint(buf, uint64(r))
+	}
+	return buf
+}
+
+// blockAccum holds one block's records column-wise, pre-encoding. All
+// storage is reused across blocks; the zero value is ready to use.
+type blockAccum struct {
+	n int // records accumulated
+
+	client, server     dictU64
+	cport, sport       []uint64
+	first, last        []int64
+	lpUp, lpDown       []int64
+	bytesUp, bytesDown []int64
+	pktsUp, pktsDown   []int64
+	pshUp, pshDown     []int64
+	retrUp, retrDown   []int64
+	minRTT, rttSamples []int64
+	notifyHost         []uint64
+	nsCount            []uint64
+	nsVals             []uint64
+	flags              []byte
+	vp, sni, cert      dictCol
+	fqdn               dictCol
+
+	buf []byte // frame encode scratch, owned by whoever encodes this accum
+	out []byte // second scratch for framings that post-process buf (flate)
+}
+
+// add appends one record to the block under construction; nothing in r is
+// retained.
+func (a *blockAccum) add(r *FlowRecord, anonymize bool) {
+	if anonymize {
+		a.client.add(anonToken(r.Client))
+	} else {
+		a.client.add(uint64(uint32(r.Client)))
+	}
+	a.server.add(uint64(uint32(r.Server)))
+	a.cport = append(a.cport, uint64(r.ClientPort))
+	a.sport = append(a.sport, uint64(r.ServerPort))
+	a.first = append(a.first, int64(r.FirstPacket))
+	a.last = append(a.last, int64(r.LastPacket-r.FirstPacket))
+	a.lpUp = append(a.lpUp, int64(r.LastPayloadUp-r.LastPacket))
+	a.lpDown = append(a.lpDown, int64(r.LastPayloadDown-r.LastPacket))
+	a.bytesUp = append(a.bytesUp, r.BytesUp)
+	a.bytesDown = append(a.bytesDown, r.BytesDown)
+	a.pktsUp = append(a.pktsUp, int64(r.PktsUp))
+	a.pktsDown = append(a.pktsDown, int64(r.PktsDown))
+	a.pshUp = append(a.pshUp, int64(r.PSHUp))
+	a.pshDown = append(a.pshDown, int64(r.PSHDown))
+	a.retrUp = append(a.retrUp, int64(r.RetransUp))
+	a.retrDown = append(a.retrDown, int64(r.RetransDown))
+	a.minRTT = append(a.minRTT, int64(r.MinRTT))
+	a.rttSamples = append(a.rttSamples, int64(r.RTTSamples))
+	a.notifyHost = append(a.notifyHost, r.NotifyHost)
+	a.nsCount = append(a.nsCount, uint64(len(r.NotifyNamespaces)))
+	for _, ns := range r.NotifyNamespaces {
+		a.nsVals = append(a.nsVals, uint64(ns))
+	}
+	var fl byte
+	if r.SawSYN {
+		fl |= 1 << 0
+	}
+	if r.SawFIN {
+		fl |= 1 << 1
+	}
+	if r.SawRST {
+		fl |= 1 << 2
+	}
+	if r.ServerClosed {
+		fl |= 1 << 3
+	}
+	a.flags = append(a.flags, fl)
+	a.vp.add(r.VP)
+	a.sni.add(r.SNI)
+	a.cert.add(r.CertName)
+	a.fqdn.add(r.FQDN)
+	a.n++
+}
+
+// encodeBody appends the block body (uvarint record count, then every
+// column) to buf and returns the grown slice.
+func (a *blockAccum) encodeBody(buf []byte) []byte {
+	body := binary.AppendUvarint(buf, uint64(a.n))
+	body = a.client.encode(body)
+	body = a.server.encode(body)
+	for _, v := range a.cport {
+		body = binary.AppendUvarint(body, v)
+	}
+	for _, v := range a.sport {
+		body = binary.AppendUvarint(body, v)
+	}
+	prev := int64(0)
+	for _, v := range a.first {
+		body = binary.AppendVarint(body, v-prev)
+		prev = v
+	}
+	for _, v := range a.last {
+		body = binary.AppendVarint(body, v)
+	}
+	for _, v := range a.lpUp {
+		body = binary.AppendVarint(body, v)
+	}
+	for _, v := range a.lpDown {
+		body = binary.AppendVarint(body, v)
+	}
+	for _, col := range [...][]int64{
+		a.bytesUp, a.bytesDown, a.pktsUp, a.pktsDown,
+		a.pshUp, a.pshDown, a.retrUp, a.retrDown,
+		a.minRTT, a.rttSamples,
+	} {
+		for _, v := range col {
+			body = binary.AppendVarint(body, v)
+		}
+	}
+	body = a.vp.encode(body)
+	body = a.sni.encode(body)
+	body = a.cert.encode(body)
+	body = a.fqdn.encode(body)
+	for _, v := range a.notifyHost {
+		body = binary.AppendUvarint(body, v)
+	}
+	for _, v := range a.nsCount {
+		body = binary.AppendUvarint(body, v)
+	}
+	for _, v := range a.nsVals {
+		body = binary.AppendUvarint(body, v)
+	}
+	body = append(body, a.flags...)
+	return body
+}
+
+// reset clears the accumulator for the next block, keeping all storage.
+func (a *blockAccum) reset() {
+	a.n = 0
+	a.client.reset()
+	a.server.reset()
+	a.cport = a.cport[:0]
+	a.sport = a.sport[:0]
+	a.first = a.first[:0]
+	a.last = a.last[:0]
+	a.lpUp = a.lpUp[:0]
+	a.lpDown = a.lpDown[:0]
+	a.bytesUp = a.bytesUp[:0]
+	a.bytesDown = a.bytesDown[:0]
+	a.pktsUp = a.pktsUp[:0]
+	a.pktsDown = a.pktsDown[:0]
+	a.pshUp = a.pshUp[:0]
+	a.pshDown = a.pshDown[:0]
+	a.retrUp = a.retrUp[:0]
+	a.retrDown = a.retrDown[:0]
+	a.minRTT = a.minRTT[:0]
+	a.rttSamples = a.rttSamples[:0]
+	a.notifyHost = a.notifyHost[:0]
+	a.nsCount = a.nsCount[:0]
+	a.nsVals = a.nsVals[:0]
+	a.flags = a.flags[:0]
+	a.vp.reset()
+	a.sni.reset()
+	a.cert.reset()
+	a.fqdn.reset()
+}
+
+// ---------- decode side ----------
+
+// bdec is a cursor over one decoded block body.
+type bdec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *bdec) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.err = errors.New("traces: corrupt binary block (uvarint)")
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *bdec) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b[d.off:])
+	if n <= 0 {
+		d.err = errors.New("traces: corrupt binary block (varint)")
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *bdec) bytes(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	// n comes straight from an untrusted uvarint: compare against the
+	// remaining length by subtraction so a huge n cannot overflow the
+	// check and panic the slice below.
+	if n < 0 || n > len(d.b)-d.off {
+		d.err = errors.New("traces: corrupt binary block (bytes)")
+		return nil
+	}
+	b := d.b[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+// dictU64Vals decodes a numeric dictionary column into one value per
+// record, using (and returning) the caller's entry scratch.
+func (d *bdec) dictU64Vals(n int, scratch []uint64) (vals, entries []uint64) {
+	dl := int(d.uvarint())
+	if d.err != nil || dl > len(d.b) {
+		if d.err == nil {
+			d.err = errors.New("traces: corrupt binary block (u64 dict)")
+		}
+		return nil, scratch
+	}
+	entries = scratch[:0]
+	for i := 0; i < dl; i++ {
+		entries = append(entries, d.uvarint())
+	}
+	vals = make([]uint64, n)
+	for i := range vals {
+		ref := d.uvarint()
+		if d.err != nil {
+			return nil, entries
+		}
+		if ref >= uint64(len(entries)) {
+			d.err = errors.New("traces: corrupt binary block (u64 dict ref)")
+			return nil, entries
+		}
+		vals[i] = entries[ref]
+	}
+	return vals, entries
+}
+
+func (d *bdec) dict(n int, scratch []string) ([]string, []string) {
+	dl := int(d.uvarint())
+	if d.err != nil || dl > len(d.b) {
+		if d.err == nil {
+			d.err = errors.New("traces: corrupt binary block (dict)")
+		}
+		return nil, scratch
+	}
+	entries := scratch[:0]
+	for i := 0; i < dl; i++ {
+		entries = append(entries, string(d.bytes(int(d.uvarint()))))
+	}
+	vals := make([]string, n)
+	for i := range vals {
+		ref := d.uvarint()
+		if d.err != nil {
+			return nil, entries
+		}
+		if ref >= uint64(len(entries)) {
+			d.err = errors.New("traces: corrupt binary block (dict ref)")
+			return nil, entries
+		}
+		vals[i] = entries[ref]
+	}
+	return vals, entries
+}
+
+// blockDecScratch holds the dictionary decode scratch a block decoder
+// reuses across blocks.
+type blockDecScratch struct {
+	strs []string
+	u64s []uint64
+}
+
+// decodeBlockBody parses one block body into freshly allocated records
+// that do not alias body or the scratch. anon streams decode with
+// Client == 0, matching the CSV reader's behaviour on anonymized rows.
+func decodeBlockBody(body []byte, anon bool, sc *blockDecScratch) ([]*FlowRecord, error) {
+	d := &bdec{b: body}
+	n := int(d.uvarint())
+	if d.err != nil {
+		return nil, d.err
+	}
+	// Every record costs at least 24 body bytes (25 columns write one
+	// varint or flag byte each, minus generous slack), so a count claiming
+	// less is corrupt — and the bound keeps a hostile count from forcing
+	// a record allocation far larger than the input that carried it.
+	if n <= 0 || n > len(body)/24+1 {
+		return nil, fmt.Errorf("traces: implausible block record count %d", n)
+	}
+	recs := make([]*FlowRecord, n)
+	backing := make([]FlowRecord, n)
+	for i := range recs {
+		recs[i] = &backing[i]
+	}
+	var clients, servers []uint64
+	clients, sc.u64s = d.dictU64Vals(n, sc.u64s)
+	if !anon && clients != nil {
+		for i := range recs {
+			recs[i].Client = wire.IP(uint32(clients[i]))
+		}
+	}
+	servers, sc.u64s = d.dictU64Vals(n, sc.u64s)
+	for i := range recs {
+		if servers != nil {
+			recs[i].Server = wire.IP(uint32(servers[i]))
+		}
+	}
+	for i := range recs {
+		recs[i].ClientPort = uint16(d.uvarint())
+	}
+	for i := range recs {
+		recs[i].ServerPort = uint16(d.uvarint())
+	}
+	prev := int64(0)
+	for i := range recs {
+		prev += d.varint()
+		recs[i].FirstPacket = time.Duration(prev)
+	}
+	for i := range recs {
+		recs[i].LastPacket = recs[i].FirstPacket + time.Duration(d.varint())
+	}
+	for i := range recs {
+		recs[i].LastPayloadUp = recs[i].LastPacket + time.Duration(d.varint())
+	}
+	for i := range recs {
+		recs[i].LastPayloadDown = recs[i].LastPacket + time.Duration(d.varint())
+	}
+	for i := range recs {
+		recs[i].BytesUp = d.varint()
+	}
+	for i := range recs {
+		recs[i].BytesDown = d.varint()
+	}
+	for i := range recs {
+		recs[i].PktsUp = int(d.varint())
+	}
+	for i := range recs {
+		recs[i].PktsDown = int(d.varint())
+	}
+	for i := range recs {
+		recs[i].PSHUp = int(d.varint())
+	}
+	for i := range recs {
+		recs[i].PSHDown = int(d.varint())
+	}
+	for i := range recs {
+		recs[i].RetransUp = int(d.varint())
+	}
+	for i := range recs {
+		recs[i].RetransDown = int(d.varint())
+	}
+	for i := range recs {
+		recs[i].MinRTT = time.Duration(d.varint())
+	}
+	for i := range recs {
+		recs[i].RTTSamples = int(d.varint())
+	}
+	var vals []string
+	vals, sc.strs = d.dict(n, sc.strs)
+	for i := range recs {
+		if vals != nil {
+			recs[i].VP = vals[i]
+		}
+	}
+	vals, sc.strs = d.dict(n, sc.strs)
+	for i := range recs {
+		if vals != nil {
+			recs[i].SNI = vals[i]
+		}
+	}
+	vals, sc.strs = d.dict(n, sc.strs)
+	for i := range recs {
+		if vals != nil {
+			recs[i].CertName = vals[i]
+		}
+	}
+	vals, sc.strs = d.dict(n, sc.strs)
+	for i := range recs {
+		if vals != nil {
+			recs[i].FQDN = vals[i]
+		}
+	}
+	for i := range recs {
+		recs[i].NotifyHost = d.uvarint()
+	}
+	counts := make([]int, n)
+	for i := range counts {
+		counts[i] = int(d.uvarint())
+		if d.err == nil && counts[i] > len(body) {
+			d.err = errors.New("traces: corrupt binary block (ns count)")
+		}
+	}
+	for i := range recs {
+		if c := counts[i]; c > 0 && d.err == nil {
+			ns := make([]uint32, c)
+			for j := range ns {
+				ns[j] = uint32(d.uvarint())
+			}
+			recs[i].NotifyNamespaces = ns
+		}
+	}
+	flags := d.bytes(n)
+	if d.err != nil {
+		return nil, d.err
+	}
+	for i, fl := range flags {
+		recs[i].SawSYN = fl&(1<<0) != 0
+		recs[i].SawFIN = fl&(1<<1) != 0
+		recs[i].SawRST = fl&(1<<2) != 0
+		recs[i].ServerClosed = fl&(1<<3) != 0
+	}
+	if d.off != len(body) {
+		return nil, fmt.Errorf("traces: %d trailing bytes in block", len(body)-d.off)
+	}
+	return recs, nil
+}

@@ -1,0 +1,600 @@
+package traces
+
+// Seekable compressed archival framing.
+//
+// The binary columnar format (binary.go) is the performance path; this
+// file adds the archival tier on top of it: the same block bodies,
+// individually DEFLATE-compressed (stdlib compress/flate — the repo's
+// zero-dependency rule rules out zstd) and framed so that a reader can
+// seek to any record without decompressing the stream before it.
+//
+// # Wire format
+//
+//	header := magic "IDBF1\n" | flags byte (bit 0: client column anonymized)
+//	frame  := uvarint rawLen (> 0) | uvarint compLen | compLen bytes
+//	end    := uvarint 0 (frame sentinel, one zero byte)
+//	index  := uvarint frameCount | frameCount x (uvarint records | uvarint frameLen)
+//	footer := uint64 LE indexLen | 8-byte magic "IDBFIDX1"
+//
+// Each frame's payload is one complete DEFLATE stream whose decompressed
+// bytes are exactly one block body (the `body` production of binary.go,
+// rawLen bytes) — frames are independently decompressible, which is what
+// makes seeking possible. frameLen in the index is the frame's total
+// length including its two uvarint headers, so cumulative sums give every
+// frame's byte offset; records is the frame's record count, so cumulative
+// sums give every frame's first record ordinal. The footer is fixed-size
+// and lands at EOF: a seekable reader reads the last 16 bytes, walks back
+// indexLen bytes to the index, and can then position itself on the frame
+// containing any record ordinal. Sequential readers ignore the index (the
+// zero sentinel tells them the frames are over) and stream like the
+// binary reader does.
+//
+// Shard ranges reduce to record ranges: the per-shard record counts in a
+// run manifest (dropsim -manifest) prefix-sum into each shard's first
+// record ordinal, which SeekToRecord accepts directly — PERFORMANCE.md
+// documents the workflow.
+//
+// Writing is terminal: Flush writes the sentinel, index and footer, and
+// the stream cannot be appended to afterwards (unlike the raw binary
+// format). Compression runs on the same ordered worker pool as the
+// parallel binary writer, so the output bytes are identical for every
+// worker count.
+
+import (
+	"bufio"
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// flateMagic opens every compressed trace stream.
+var flateMagic = [6]byte{'I', 'D', 'B', 'F', '1', '\n'}
+
+// flateFooterMagic closes every compressed trace stream.
+var flateFooterMagic = [8]byte{'I', 'D', 'B', 'F', 'I', 'D', 'X', '1'}
+
+// flateFooterLen is the fixed footer size: uint64 index length + magic.
+const flateFooterLen = 16
+
+// flateHeaderLen is the fixed header size: 6-byte magic + flags byte.
+const flateHeaderLen = 7
+
+// maxFrameRaw caps a frame's decompressed size — a format limit, not a
+// tunable. Default blocks decompress to ~1MB; 16MB leaves an order of
+// magnitude of headroom while keeping a hostile frame (DEFLATE inflates
+// up to ~1000x) from turning a few KB of input into gigabytes of
+// decompression work. Writers configured so extreme that a single block
+// body exceeds this produce streams the reader rejects.
+const maxFrameRaw = 1 << 24
+
+// errFlateFinalized reports a Write after the terminal Flush.
+var errFlateFinalized = errors.New("traces: flate stream already finalized (Flush wrote the index)")
+
+// appendSlice adapts a byte slice into an io.Writer for compressors.
+type appendSlice []byte
+
+func (s *appendSlice) Write(p []byte) (int, error) {
+	*s = append(*s, p...)
+	return len(p), nil
+}
+
+// flateFrame is one index entry: the frame's record count and its total
+// encoded length (headers included).
+type flateFrame struct {
+	records  uint64
+	frameLen uint64
+}
+
+// FlateWriter streams flow records as the compressed archival format.
+// Methods must not be called concurrently — the Workers parallelism is
+// internal, and byte-identical output is guaranteed for every worker
+// count. Flush is terminal: it writes the seek index and footer.
+type FlateWriter struct {
+	// Anonymize replaces client addresses with the stable 48-bit tokens
+	// of the CSV format. It must be set before the first Write.
+	Anonymize bool
+	// BlockRecords overrides the records-per-frame target (0 means
+	// DefaultBlockRecords). It must be set before the first Write.
+	BlockRecords int
+	// Level is the flate compression level (flate.BestSpeed ..
+	// flate.BestCompression; 0 means flate.DefaultCompression). It must
+	// be set before the first Write.
+	Level int
+
+	w           io.Writer
+	pool        *blockPool
+	cur         *blockAccum
+	index       []flateFrame
+	wroteHeader bool
+	finished    bool
+	err         error
+}
+
+// NewFlateWriter wraps w with a pool of workers frame compressors
+// (workers < 1 means 1).
+func NewFlateWriter(w io.Writer, workers int) *FlateWriter {
+	fw := &FlateWriter{w: w}
+	fw.pool = newBlockPool(w, workers,
+		func(st *encScratch, acc *blockAccum) []byte { return fw.finishFrame(st, acc) },
+		func(acc *blockAccum, frame []byte) {
+			// Merger goroutine; Flush reads index only after drain, so the
+			// appends are ordered-before every read.
+			fw.index = append(fw.index, flateFrame{records: uint64(acc.n), frameLen: uint64(len(frame))})
+			rawLen, _ := binary.Uvarint(frame)
+			mFlateFrames.Inc()
+			mFlateRecords.Add(uint64(acc.n))
+			mFlateRawBytes.Add(rawLen)
+			mFlateBytes.Add(uint64(len(frame)))
+		})
+	return fw
+}
+
+// level resolves the configured compression level.
+func (w *FlateWriter) level() int {
+	if w.Level == 0 {
+		return flate.DefaultCompression
+	}
+	return w.Level
+}
+
+// finishFrame encodes one accum's block body and compresses it into a
+// framed payload. Runs on a worker goroutine; all scratch is owned by the
+// accum (frame bytes) or the worker (the flate compressor).
+func (w *FlateWriter) finishFrame(st *encScratch, acc *blockAccum) []byte {
+	raw := acc.encodeBody(acc.buf[:0])
+	acc.buf = raw
+
+	const reserve = 2 * binary.MaxVarintLen64
+	if cap(acc.out) < reserve {
+		acc.out = make([]byte, reserve)
+	}
+	acc.out = acc.out[:reserve]
+	sink := (*appendSlice)(&acc.out)
+	if st.fw == nil {
+		// The level is validated here, once per worker: flate.NewWriter
+		// only errors on an out-of-range level.
+		fw, err := flate.NewWriter(sink, w.level())
+		if err != nil {
+			panic(fmt.Sprintf("traces: invalid flate level %d: %v", w.level(), err))
+		}
+		st.fw = fw
+	} else {
+		st.fw.Reset(sink)
+	}
+	st.fw.Write(raw) // appendSlice never errors
+	st.fw.Close()
+
+	frame := acc.out
+	compLen := len(frame) - reserve
+	// Right-align the two uvarint headers immediately before the payload.
+	var hdr [reserve]byte
+	n1 := binary.PutUvarint(hdr[:], uint64(len(raw)))
+	n2 := binary.PutUvarint(hdr[n1:], uint64(compLen))
+	start := reserve - n1 - n2
+	copy(frame[start:], hdr[:n1+n2])
+	return frame[start:]
+}
+
+func (w *FlateWriter) blockTarget() int {
+	if w.BlockRecords > 0 {
+		return w.BlockRecords
+	}
+	return DefaultBlockRecords
+}
+
+// ensureStarted writes the stream header once and (re)starts the pool.
+func (w *FlateWriter) ensureStarted() error {
+	if w.err != nil {
+		return w.err
+	}
+	if !w.wroteHeader {
+		var hdr [flateHeaderLen]byte
+		copy(hdr[:], flateMagic[:])
+		if w.Anonymize {
+			hdr[6] |= anonFlag
+		}
+		if _, err := w.w.Write(hdr[:]); err != nil {
+			w.err = err
+			return err
+		}
+		w.wroteHeader = true
+	}
+	w.pool.start()
+	return nil
+}
+
+// Write buffers one record; nothing in r is retained after return.
+func (w *FlateWriter) Write(r *FlowRecord) error {
+	if w.finished {
+		return errFlateFinalized
+	}
+	if err := w.ensureStarted(); err != nil {
+		return err
+	}
+	if err := w.pool.loadErr(); err != nil {
+		return err
+	}
+	if w.cur == nil {
+		w.cur = w.pool.getAccum()
+	}
+	w.cur.add(r, w.Anonymize)
+	if w.cur.n >= w.blockTarget() {
+		w.pool.submit(w.cur)
+		w.cur = nil
+	}
+	return nil
+}
+
+// Flush finalizes the stream: any partial frame is compressed and
+// written, the worker pool drains and stops, and the sentinel, index and
+// footer land after the last frame. A zero-record Flush writes a valid
+// empty stream (header, sentinel, empty index, footer). Further Writes
+// fail with an error; Flush itself is idempotent.
+func (w *FlateWriter) Flush() error {
+	if w.finished {
+		return w.err
+	}
+	if err := w.ensureStarted(); err != nil {
+		return err
+	}
+	if w.cur != nil {
+		if w.cur.n > 0 {
+			w.pool.submit(w.cur)
+		} else {
+			w.pool.free <- w.cur
+		}
+		w.cur = nil
+	}
+	if err := w.pool.drain(); err != nil {
+		w.err = err
+		w.finished = true
+		return err
+	}
+	trailer := []byte{0} // frame sentinel
+	idx := binary.AppendUvarint(nil, uint64(len(w.index)))
+	for _, f := range w.index {
+		idx = binary.AppendUvarint(idx, f.records)
+		idx = binary.AppendUvarint(idx, f.frameLen)
+	}
+	trailer = append(trailer, idx...)
+	var footer [flateFooterLen]byte
+	binary.LittleEndian.PutUint64(footer[:8], uint64(len(idx)))
+	copy(footer[8:], flateFooterMagic[:])
+	trailer = append(trailer, footer[:]...)
+	w.finished = true
+	if _, err := w.w.Write(trailer); err != nil {
+		w.err = err
+	}
+	return w.err
+}
+
+// FlateReader parses a compressed archival trace stream back into
+// records. Wrapping an io.ReadSeeker additionally enables SeekToRecord:
+// the reader loads the trailing index and repositions onto the frame
+// containing any record ordinal, so a partial range costs only its own
+// frames' decompression.
+type FlateReader struct {
+	rs     io.ReadSeeker // non-nil when the source supports seeking
+	br     *bufio.Reader
+	header bool
+	anon   bool
+	err    error
+
+	recs []*FlowRecord // decoded records of the current frame
+	next int
+	skip int // records to discard after a seek landed mid-frame
+
+	comp    []byte // compressed frame scratch
+	raw     []byte // decompressed body scratch
+	compRdr bytes.Reader
+	fr      io.ReadCloser // flate decompressor, reused via flate.Resetter
+	sc      blockDecScratch
+
+	// Seek index, loaded lazily by the first SeekToRecord/NumRecords.
+	index      []flateFrame
+	frameOff   []int64 // byte offset of each frame
+	cumRecords []int64 // first record ordinal of each frame
+	total      int64   // total records per the index
+}
+
+// NewFlateReader wraps r. If r is an io.ReadSeeker the reader supports
+// SeekToRecord; otherwise it streams sequentially.
+func NewFlateReader(r io.Reader) *FlateReader {
+	fr := &FlateReader{br: bufio.NewReader(r)}
+	if rs, ok := r.(io.ReadSeeker); ok {
+		fr.rs = rs
+	}
+	return fr
+}
+
+// Anonymized reports whether the stream's client column is anonymized
+// (meaningful after the first Read or SeekToRecord).
+func (r *FlateReader) Anonymized() bool { return r.anon }
+
+// ensureHeader consumes and validates the stream header once.
+func (r *FlateReader) ensureHeader() error {
+	if r.header {
+		return nil
+	}
+	var hdr [flateHeaderLen]byte
+	if _, err := io.ReadFull(r.br, hdr[:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return fmt.Errorf("traces: reading flate header: %w", err)
+	}
+	if [6]byte(hdr[:6]) != flateMagic {
+		return errors.New("traces: not a compressed trace stream (bad magic)")
+	}
+	r.anon = hdr[6]&anonFlag != 0
+	r.header = true
+	return nil
+}
+
+// Read returns the next record, or io.EOF at end of stream. Returned
+// records are freshly allocated and do not alias reader state.
+func (r *FlateReader) Read() (*FlowRecord, error) {
+	if r.err != nil {
+		return nil, r.err
+	}
+	if err := r.ensureHeader(); err != nil {
+		r.err = err
+		return nil, err
+	}
+	for r.next >= len(r.recs) {
+		if err := r.readFrame(); err != nil {
+			r.err = err
+			return nil, err
+		}
+		if r.skip > 0 {
+			n := min(r.skip, len(r.recs))
+			r.next += n
+			r.skip -= n
+		}
+	}
+	rec := r.recs[r.next]
+	r.recs[r.next] = nil
+	r.next++
+	return rec, nil
+}
+
+// readFrame decompresses and decodes the next frame into r.recs, or
+// returns io.EOF after validating the trailer when the sentinel is hit.
+func (r *FlateReader) readFrame() error {
+	rawLen, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		if err == io.EOF {
+			return fmt.Errorf("traces: flate stream truncated (missing trailer): %w", io.ErrUnexpectedEOF)
+		}
+		return fmt.Errorf("traces: reading frame length: %w", err)
+	}
+	if rawLen == 0 {
+		// Frame sentinel: index and footer follow, then EOF.
+		return r.validateTrailer()
+	}
+	if rawLen > maxFrameRaw {
+		return fmt.Errorf("traces: implausible frame raw length %d", rawLen)
+	}
+	compLen, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		return fmt.Errorf("traces: reading frame compressed length: %w", err)
+	}
+	if compLen == 0 || compLen > 1<<31 {
+		return fmt.Errorf("traces: implausible frame compressed length %d", compLen)
+	}
+	comp, err := readExact(r.br, r.comp, int(compLen))
+	r.comp = comp[:0]
+	if err != nil {
+		return fmt.Errorf("traces: reading frame payload: %w", err)
+	}
+	r.compRdr.Reset(comp)
+	if r.fr == nil {
+		r.fr = flate.NewReader(&r.compRdr)
+	} else if err := r.fr.(flate.Resetter).Reset(&r.compRdr, nil); err != nil {
+		return fmt.Errorf("traces: resetting flate decompressor: %w", err)
+	}
+	// The raw buffer grows only as the decompressor actually produces
+	// bytes, so a corrupt rawLen cannot force a huge allocation either.
+	raw, err := readExact(r.fr, r.raw, int(rawLen))
+	r.raw = raw[:0]
+	if err != nil {
+		return fmt.Errorf("traces: decompressing frame: %w", err)
+	}
+	// The payload must decompress to exactly rawLen bytes.
+	var one [1]byte
+	if n, err := r.fr.Read(one[:]); n != 0 || (err != nil && err != io.EOF) {
+		return errors.New("traces: frame decompresses past its declared raw length")
+	}
+	recs, err := decodeBlockBody(raw, r.anon, &r.sc)
+	if err != nil {
+		return err
+	}
+	r.recs = recs
+	r.next = 0
+	return nil
+}
+
+// validateTrailer reads the index and footer after the sentinel and
+// returns io.EOF if they are well formed.
+func (r *FlateReader) validateTrailer() error {
+	count, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		return fmt.Errorf("traces: reading index count: %w", err)
+	}
+	if count > 1<<40 {
+		return fmt.Errorf("traces: implausible index frame count %d", count)
+	}
+	for i := uint64(0); i < count; i++ {
+		if _, err := binary.ReadUvarint(r.br); err != nil {
+			return fmt.Errorf("traces: reading index entry %d: %w", i, err)
+		}
+		if _, err := binary.ReadUvarint(r.br); err != nil {
+			return fmt.Errorf("traces: reading index entry %d: %w", i, err)
+		}
+	}
+	var footer [flateFooterLen]byte
+	if _, err := io.ReadFull(r.br, footer[:]); err != nil {
+		return fmt.Errorf("traces: reading footer: %w", err)
+	}
+	if [8]byte(footer[8:]) != flateFooterMagic {
+		return errors.New("traces: corrupt flate stream (bad footer magic)")
+	}
+	return io.EOF
+}
+
+// loadIndex reads the trailing index through the seeker, then restores
+// the logical read position, so index lookups never disturb a stream
+// mid-read.
+func (r *FlateReader) loadIndex() error {
+	if r.index != nil {
+		return nil
+	}
+	if r.rs == nil {
+		return errors.New("traces: seeking requires an io.ReadSeeker source")
+	}
+	pos, err := r.rs.Seek(0, io.SeekCurrent)
+	if err != nil {
+		return err
+	}
+	pos -= int64(r.br.Buffered())
+	idxErr := r.readIndex()
+	if _, err := r.rs.Seek(pos, io.SeekStart); err != nil {
+		if idxErr != nil {
+			return idxErr
+		}
+		return err
+	}
+	r.br.Reset(r.rs)
+	return idxErr
+}
+
+// readIndex parses the footer and index from the end of the stream.
+// It leaves the seek position unspecified — loadIndex restores it.
+func (r *FlateReader) readIndex() error {
+	size, err := r.rs.Seek(0, io.SeekEnd)
+	if err != nil {
+		return err
+	}
+	if size < flateHeaderLen+1+flateFooterLen {
+		return errors.New("traces: flate stream too short to carry an index")
+	}
+	if _, err := r.rs.Seek(size-flateFooterLen, io.SeekStart); err != nil {
+		return err
+	}
+	var footer [flateFooterLen]byte
+	if _, err := io.ReadFull(r.rs, footer[:]); err != nil {
+		return fmt.Errorf("traces: reading footer: %w", err)
+	}
+	if [8]byte(footer[8:]) != flateFooterMagic {
+		return errors.New("traces: corrupt flate stream (bad footer magic)")
+	}
+	idxLen := int64(binary.LittleEndian.Uint64(footer[:8]))
+	if idxLen < 1 || idxLen > size-flateFooterLen-flateHeaderLen-1 {
+		return fmt.Errorf("traces: corrupt flate index (length %d of %d-byte stream)", idxLen, size)
+	}
+	if _, err := r.rs.Seek(size-flateFooterLen-idxLen, io.SeekStart); err != nil {
+		return err
+	}
+	idx := make([]byte, idxLen)
+	if _, err := io.ReadFull(r.rs, idx); err != nil {
+		return fmt.Errorf("traces: reading index: %w", err)
+	}
+	d := &bdec{b: idx}
+	count := d.uvarint()
+	if d.err != nil || count > uint64(idxLen) {
+		return errors.New("traces: corrupt flate index (count)")
+	}
+	index := make([]flateFrame, 0, count)
+	frameOff := make([]int64, 0, count)
+	cumRecords := make([]int64, 0, count)
+	off, records := int64(flateHeaderLen), int64(0)
+	framesEnd := size - flateFooterLen - idxLen - 1 // sentinel byte precedes the index
+	for i := uint64(0); i < count; i++ {
+		f := flateFrame{records: d.uvarint(), frameLen: d.uvarint()}
+		if d.err != nil {
+			return errors.New("traces: corrupt flate index (entry)")
+		}
+		if f.records == 0 || f.frameLen == 0 {
+			return errors.New("traces: corrupt flate index (empty frame)")
+		}
+		index = append(index, f)
+		frameOff = append(frameOff, off)
+		cumRecords = append(cumRecords, records)
+		off += int64(f.frameLen)
+		records += int64(f.records)
+		if off > framesEnd {
+			return fmt.Errorf("traces: corrupt flate index (frame %d offset %d past frame section end %d)", i, off, framesEnd)
+		}
+	}
+	if d.off != len(idx) {
+		return errors.New("traces: corrupt flate index (trailing bytes)")
+	}
+	r.index, r.frameOff, r.cumRecords, r.total = index, frameOff, cumRecords, records
+	return nil
+}
+
+// NumRecords returns the stream's total record count from the index
+// (requires an io.ReadSeeker source). The read position is preserved:
+// it can be called before, during or after sequential reading without
+// disturbing the stream.
+func (r *FlateReader) NumRecords() (int64, error) {
+	if err := r.loadIndex(); err != nil {
+		return 0, err
+	}
+	return r.total, nil
+}
+
+// SeekToRecord repositions the reader so the next Read returns record
+// ordinal n (0-based, in stream order). Only the frame containing n and
+// later frames are ever decompressed. Requires an io.ReadSeeker source.
+// Seeking to the total record count positions at EOF; past it is an
+// error.
+func (r *FlateReader) SeekToRecord(n int64) error {
+	if err := r.loadIndex(); err != nil {
+		return err
+	}
+	if n < 0 || n > r.total {
+		return fmt.Errorf("traces: record %d out of range (stream has %d)", n, r.total)
+	}
+	if !r.header {
+		// Validate the header once so anon is known before decoding.
+		if _, err := r.rs.Seek(0, io.SeekStart); err != nil {
+			return err
+		}
+		r.br.Reset(r.rs)
+		if err := r.ensureHeader(); err != nil {
+			return err
+		}
+	}
+	mFlateSeeks.Inc()
+	// Binary search: the last frame whose first ordinal is <= n.
+	lo, hi := 0, len(r.cumRecords)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if r.cumRecords[mid] <= n {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	target, skip := int64(flateHeaderLen), int64(0)
+	if len(r.index) > 0 && n < r.total {
+		target, skip = r.frameOff[lo], n-r.cumRecords[lo]
+	} else {
+		// Empty stream or n == total: position on the sentinel.
+		if len(r.index) > 0 {
+			last := len(r.index) - 1
+			target = r.frameOff[last] + int64(r.index[last].frameLen)
+		}
+	}
+	if _, err := r.rs.Seek(target, io.SeekStart); err != nil {
+		return err
+	}
+	r.br.Reset(r.rs)
+	r.recs, r.next, r.skip = nil, 0, int(skip)
+	r.err = nil // a previous io.EOF is cleared by an explicit seek
+	return nil
+}

@@ -1,0 +1,366 @@
+package traces
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// encodeFlate serializes recs with a FlateWriter and returns the stream.
+func encodeFlate(t *testing.T, recs []*FlowRecord, blockRecords, workers int, anon bool) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewFlateWriter(&buf, workers)
+	w.BlockRecords = blockRecords
+	w.Anonymize = anon
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestFlateRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	var recs []*FlowRecord
+	for i := 0; i < 5_000; i++ {
+		recs = append(recs, randRecord(rng, i))
+	}
+	stream := encodeFlate(t, recs, 257, 1, false)
+	fr := NewFlateReader(bytes.NewReader(stream))
+	for i, want := range recs {
+		got, err := fr.Read()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(normalize(got), normalize(want)) {
+			t.Fatalf("record %d mismatch:\n got %+v\nwant %+v", i, got, want)
+		}
+	}
+	if _, err := fr.Read(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+// TestFlateDeterministicAcrossWorkers pins the determinism contract for
+// the archival tier: worker count never changes the output bytes.
+func TestFlateDeterministicAcrossWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	var recs []*FlowRecord
+	for i := 0; i < 6_000; i++ {
+		recs = append(recs, randRecord(rng, i))
+	}
+	want := encodeFlate(t, recs, 300, 1, true)
+	for _, workers := range []int{2, 8} {
+		got := encodeFlate(t, recs, 300, workers, true)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("workers=%d: output differs from workers=1 (%d vs %d bytes)", workers, len(got), len(want))
+		}
+	}
+}
+
+// TestFlateNumRecordsPreservesPosition pins the loadIndex contract:
+// index lookups (NumRecords) must not disturb a sequential read,
+// whether they happen before the first Read or in the middle of one.
+func TestFlateNumRecordsPreservesPosition(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	var recs []*FlowRecord
+	for i := 0; i < 700; i++ {
+		recs = append(recs, randRecord(rng, i))
+	}
+	stream := encodeFlate(t, recs, 128, 2, false)
+	fr := NewFlateReader(bytes.NewReader(stream))
+	if n, err := fr.NumRecords(); err != nil || n != int64(len(recs)) {
+		t.Fatalf("NumRecords before reading = %d, %v; want %d", n, err, len(recs))
+	}
+	for i, want := range recs {
+		if i == 300 || i == 301 { // mid-frame, repeated
+			if n, err := fr.NumRecords(); err != nil || n != int64(len(recs)) {
+				t.Fatalf("NumRecords at record %d = %d, %v", i, n, err)
+			}
+		}
+		got, err := fr.Read()
+		if err != nil {
+			t.Fatalf("record %d after NumRecords: %v", i, err)
+		}
+		if !reflect.DeepEqual(normalize(got), normalize(want)) {
+			t.Fatalf("record %d diverged after NumRecords", i)
+		}
+	}
+	if _, err := fr.Read(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+// TestFlateSeekToRecord pins the acceptance criterion: a seeked partial
+// read returns exactly the records of the requested range, bit-exact
+// against the full sequential decode.
+func TestFlateSeekToRecord(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	var recs []*FlowRecord
+	for i := 0; i < 4_000; i++ {
+		recs = append(recs, randRecord(rng, i))
+	}
+	stream := encodeFlate(t, recs, 256, 4, false)
+	fr := NewFlateReader(bytes.NewReader(stream))
+
+	total, err := fr.NumRecords()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != int64(len(recs)) {
+		t.Fatalf("NumRecords = %d, want %d", total, len(recs))
+	}
+
+	// Seek targets cover: block-start, mid-block, first record, the very
+	// last record, and the EOF position.
+	for _, start := range []int64{0, 1, 255, 256, 257, 1000, 3999, 4000} {
+		if err := fr.SeekToRecord(start); err != nil {
+			t.Fatalf("SeekToRecord(%d): %v", start, err)
+		}
+		for i := start; i < total; i++ {
+			got, err := fr.Read()
+			if err != nil {
+				t.Fatalf("seek %d, record %d: %v", start, i, err)
+			}
+			if !reflect.DeepEqual(normalize(got), normalize(recs[i])) {
+				t.Fatalf("seek %d, record %d mismatch", start, i)
+			}
+			if i > start+300 {
+				break // partial range is the point; don't re-read the tail each time
+			}
+		}
+		if start == total {
+			if _, err := fr.Read(); err != io.EOF {
+				t.Fatalf("seek to EOF position: expected EOF, got %v", err)
+			}
+		}
+	}
+
+	// Out-of-range seeks fail cleanly.
+	if err := fr.SeekToRecord(-1); err == nil {
+		t.Fatal("SeekToRecord(-1) should fail")
+	}
+	if err := fr.SeekToRecord(total + 1); err == nil {
+		t.Fatal("SeekToRecord(total+1) should fail")
+	}
+
+	// Seeking backwards after EOF works (EOF state is cleared).
+	if err := fr.SeekToRecord(total); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fr.Read(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+	if err := fr.SeekToRecord(42); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fr.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(normalize(got), normalize(recs[42])) {
+		t.Fatal("record 42 after re-seek mismatch")
+	}
+}
+
+// TestFlateSeekRequiresSeeker checks the non-seekable degradation.
+func TestFlateSeekRequiresSeeker(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	recs := []*FlowRecord{randRecord(rng, 0)}
+	stream := encodeFlate(t, recs, 16, 1, false)
+	// io.MultiReader hides the Seeker.
+	fr := NewFlateReader(io.MultiReader(bytes.NewReader(stream)))
+	if err := fr.SeekToRecord(0); err == nil {
+		t.Fatal("SeekToRecord on a non-seekable source should fail")
+	}
+	// Sequential reading still works.
+	if _, err := fr.Read(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fr.Read(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestFlateEmptyStream(t *testing.T) {
+	stream := encodeFlate(t, nil, 0, 2, true)
+	fr := NewFlateReader(bytes.NewReader(stream))
+	if _, err := fr.Read(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+	if !fr.Anonymized() {
+		t.Fatal("anonymize flag lost")
+	}
+	fr2 := NewFlateReader(bytes.NewReader(stream))
+	n, err := fr2.NumRecords()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("NumRecords = %d, want 0", n)
+	}
+	if err := fr2.SeekToRecord(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fr2.Read(); err != io.EOF {
+		t.Fatalf("expected EOF after seek, got %v", err)
+	}
+}
+
+func TestFlateWriteAfterFlushFails(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewFlateWriter(&buf, 1)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(35))
+	if err := w.Write(randRecord(rng, 0)); err == nil {
+		t.Fatal("Write after terminal Flush should fail")
+	}
+}
+
+func TestFlateCompresses(t *testing.T) {
+	rng := rand.New(rand.NewSource(36))
+	var recs []*FlowRecord
+	for i := 0; i < 4_096; i++ {
+		recs = append(recs, randRecord(rng, i))
+	}
+	var raw bytes.Buffer
+	bw := NewBinaryWriter(&raw)
+	for _, r := range recs {
+		if err := bw.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	comp := encodeFlate(t, recs, 0, 1, false)
+	if len(comp) >= raw.Len() {
+		t.Fatalf("flate stream (%d bytes) not smaller than raw binary (%d bytes)", len(comp), raw.Len())
+	}
+}
+
+// --- reader error paths ---
+
+func TestFlateBadMagic(t *testing.T) {
+	fr := NewFlateReader(bytes.NewReader([]byte("NOTFLT\x00rest")))
+	if _, err := fr.Read(); err == nil || err == io.EOF {
+		t.Fatalf("bad magic should fail, got %v", err)
+	}
+}
+
+func TestFlateTruncated(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	var recs []*FlowRecord
+	for i := 0; i < 1_000; i++ {
+		recs = append(recs, randRecord(rng, i))
+	}
+	stream := encodeFlate(t, recs, 128, 1, false)
+	// Every truncation point must yield a clean error (or valid records
+	// followed by one), never a panic and never silent success.
+	for _, cut := range []int{0, 3, flateHeaderLen, flateHeaderLen + 1, flateHeaderLen + 10, len(stream) / 2, len(stream) - 1} {
+		fr := NewFlateReader(bytes.NewReader(stream[:cut]))
+		var err error
+		for {
+			_, err = fr.Read()
+			if err != nil {
+				break
+			}
+		}
+		if err == io.EOF {
+			t.Fatalf("cut=%d: truncated stream read to clean EOF", cut)
+		}
+	}
+}
+
+func TestFlateBadFooterMagic(t *testing.T) {
+	stream := encodeFlate(t, nil, 0, 1, false)
+	bad := bytes.Clone(stream)
+	bad[len(bad)-1] ^= 0xff
+	fr := NewFlateReader(bytes.NewReader(bad))
+	if _, err := fr.Read(); err == nil || err == io.EOF {
+		t.Fatalf("bad footer magic should fail, got %v", err)
+	}
+	fr2 := NewFlateReader(bytes.NewReader(bad))
+	if _, err := fr2.NumRecords(); err == nil {
+		t.Fatal("NumRecords with bad footer magic should fail")
+	}
+}
+
+// TestFlateIndexOffsetPastEOF corrupts the index so the cumulative frame
+// offsets run past the frame section; the seek path must reject it.
+func TestFlateIndexOffsetPastEOF(t *testing.T) {
+	rng := rand.New(rand.NewSource(38))
+	var recs []*FlowRecord
+	for i := 0; i < 300; i++ {
+		recs = append(recs, randRecord(rng, i))
+	}
+	stream := encodeFlate(t, recs, 100, 1, false)
+
+	// Rebuild the trailer with an inflated frameLen in the first entry.
+	idxLen := int(binary.LittleEndian.Uint64(stream[len(stream)-flateFooterLen:]))
+	idxStart := len(stream) - flateFooterLen - idxLen
+	idx := stream[idxStart : idxStart+idxLen]
+	d := &bdec{b: idx}
+	count := d.uvarint()
+	var badIdx []byte
+	badIdx = binary.AppendUvarint(badIdx, count)
+	for i := uint64(0); i < count; i++ {
+		records, frameLen := d.uvarint(), d.uvarint()
+		if i == 0 {
+			frameLen += 1 << 20
+		}
+		badIdx = binary.AppendUvarint(badIdx, records)
+		badIdx = binary.AppendUvarint(badIdx, frameLen)
+	}
+	bad := append([]byte(nil), stream[:idxStart]...)
+	bad = append(bad, badIdx...)
+	var footer [flateFooterLen]byte
+	binary.LittleEndian.PutUint64(footer[:8], uint64(len(badIdx)))
+	copy(footer[8:], flateFooterMagic[:])
+	bad = append(bad, footer[:]...)
+
+	fr := NewFlateReader(bytes.NewReader(bad))
+	if err := fr.SeekToRecord(0); err == nil {
+		t.Fatal("index with offsets past EOF should fail to load")
+	}
+}
+
+// TestFlateFrameCorruption flips bytes inside the first frame; decoding
+// must fail cleanly (flate checksum-less streams can decode garbage, so
+// the block decoder's bounds checks are the backstop — any outcome but a
+// panic or silent wrong-length success passes).
+func TestFlateFrameCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(39))
+	var recs []*FlowRecord
+	for i := 0; i < 500; i++ {
+		recs = append(recs, randRecord(rng, i))
+	}
+	stream := encodeFlate(t, recs, 500, 1, false)
+	for off := flateHeaderLen; off < len(stream); off += 7 {
+		bad := bytes.Clone(stream)
+		bad[off] ^= 0x55
+		fr := NewFlateReader(bytes.NewReader(bad))
+		n := 0
+		for {
+			if _, err := fr.Read(); err != nil {
+				break
+			}
+			if n++; n > len(recs) {
+				t.Fatalf("offset %d: corrupted stream yielded more records than written", off)
+			}
+		}
+	}
+}

@@ -1,0 +1,216 @@
+package traces
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"insidedropbox/internal/wire"
+)
+
+// fuzzRecord deserializes the fuzzer's raw bytes into a batch of
+// records: a deterministic, crash-free mapping from arbitrary input to
+// arbitrary-ish field values, so the round-trip fuzzers explore the
+// encoder's input space rather than the decoder's.
+func fuzzRecords(data []byte) []*FlowRecord {
+	if len(data) == 0 {
+		return nil
+	}
+	// The first byte seeds a PRNG; subsequent bytes perturb fields so the
+	// corpus bytes matter beyond the seed.
+	rng := rand.New(rand.NewSource(int64(data[0])))
+	n := 1 + len(data)/4
+	if n > 300 {
+		n = 300
+	}
+	recs := make([]*FlowRecord, 0, n)
+	at := func(i int) byte {
+		if len(data) == 0 {
+			return 0
+		}
+		return data[i%len(data)]
+	}
+	for i := 0; i < n; i++ {
+		r := randRecord(rng, i)
+		r.BytesUp = int64(at(i)) << (at(i+1) % 40)
+		r.PktsUp = int(at(i + 2))
+		r.FirstPacket = time.Duration(int64(at(i+3))) * time.Minute
+		r.LastPacket = r.FirstPacket + time.Duration(at(i+4))*time.Second
+		r.Client = wire.IP(uint32(at(i))<<24 | uint32(at(i+5)))
+		if at(i+6)%7 == 0 {
+			r.SNI = string(data[i%len(data):][:min(len(data)-i%len(data), 40)])
+		}
+		recs = append(recs, r)
+	}
+	return recs
+}
+
+// FuzzBinaryRoundTrip drives arbitrary record batches through the
+// sequential binary codec, the parallel writer, and the flate tier,
+// asserting lossless round-trips and the cross-writer byte-identity
+// contract.
+func FuzzBinaryRoundTrip(f *testing.F) {
+	f.Add([]byte{}, uint8(0))
+	f.Add([]byte{1}, uint8(1))
+	f.Add([]byte("inside dropbox imc2012"), uint8(7))
+	f.Add(bytes.Repeat([]byte{0xab, 0x00, 0xff}, 40), uint8(129))
+	f.Fuzz(func(t *testing.T, data []byte, knobs uint8) {
+		recs := fuzzRecords(data)
+		anon := knobs&1 != 0
+		blockRecords := 1 + int(knobs>>1) // 1..128
+
+		var seq bytes.Buffer
+		bw := NewBinaryWriter(&seq)
+		bw.Anonymize = anon
+		bw.BlockRecords = blockRecords
+		for _, r := range recs {
+			if err := bw.Write(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := bw.Flush(); err != nil {
+			t.Fatal(err)
+		}
+
+		var par bytes.Buffer
+		pw := NewParallelBinaryWriter(&par, 4)
+		pw.Anonymize = anon
+		pw.BlockRecords = blockRecords
+		for _, r := range recs {
+			if err := pw.Write(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := pw.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(seq.Bytes(), par.Bytes()) {
+			t.Fatal("parallel writer output differs from sequential writer")
+		}
+
+		br := NewBinaryReader(bytes.NewReader(seq.Bytes()))
+		for i, want := range recs {
+			got, err := br.Read()
+			if err != nil {
+				t.Fatalf("record %d: %v", i, err)
+			}
+			checkFuzzRecord(t, i, got, want, anon)
+		}
+		if _, err := br.Read(); err != io.EOF {
+			t.Fatalf("expected EOF, got %v", err)
+		}
+
+		var comp bytes.Buffer
+		fw := NewFlateWriter(&comp, 2)
+		fw.Anonymize = anon
+		fw.BlockRecords = blockRecords
+		for _, r := range recs {
+			if err := fw.Write(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := fw.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		fr := NewFlateReader(bytes.NewReader(comp.Bytes()))
+		for i, want := range recs {
+			got, err := fr.Read()
+			if err != nil {
+				t.Fatalf("flate record %d: %v", i, err)
+			}
+			checkFuzzRecord(t, i, got, want, anon)
+		}
+		if _, err := fr.Read(); err != io.EOF {
+			t.Fatalf("flate: expected EOF, got %v", err)
+		}
+	})
+}
+
+// checkFuzzRecord compares a decoded record against the original,
+// accounting for anonymization (client decodes to 0).
+func checkFuzzRecord(t *testing.T, i int, got, want *FlowRecord, anon bool) {
+	t.Helper()
+	w := *normalize(want)
+	if anon {
+		w.Client = 0
+	}
+	if !reflect.DeepEqual(normalize(got), &w) {
+		t.Fatalf("record %d mismatch:\n got %+v\nwant %+v", i, got, &w)
+	}
+}
+
+// FuzzFlateFrameReader feeds arbitrary bytes to both readers: any input —
+// corrupted, truncated, or valid — must produce records or a clean error,
+// never a panic, hang, or unbounded allocation.
+func FuzzFlateFrameReader(f *testing.F) {
+	// Valid streams (so mutations explore near-valid space), plus raw junk.
+	rng := rand.New(rand.NewSource(51))
+	var recs []*FlowRecord
+	for i := 0; i < 200; i++ {
+		recs = append(recs, randRecord(rng, i))
+	}
+	var comp bytes.Buffer
+	fw := NewFlateWriter(&comp, 1)
+	fw.BlockRecords = 64
+	for _, r := range recs {
+		if err := fw.Write(r); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := fw.Flush(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(comp.Bytes())
+	var raw bytes.Buffer
+	bw := NewBinaryWriter(&raw)
+	bw.BlockRecords = 64
+	for _, r := range recs {
+		if err := bw.Write(r); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(raw.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("IDBF1\n\x00"))
+	f.Add([]byte("IDBT1\n\x00"))
+	f.Add([]byte("IDBF1\n\x00\x05\x03abc\x00"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const maxRecords = 1 << 20 // backstop against decode loops
+		fr := NewFlateReader(bytes.NewReader(data))
+		for n := 0; ; n++ {
+			if _, err := fr.Read(); err != nil {
+				break
+			}
+			if n > maxRecords {
+				t.Fatal("flate reader yielded implausibly many records")
+			}
+		}
+		if fr.rs != nil {
+			total, err := fr.NumRecords()
+			if err == nil && (total < 0 || total > maxRecords) {
+				t.Fatalf("implausible NumRecords %d", total)
+			}
+			if err == nil && total > 0 {
+				if err := fr.SeekToRecord(total / 2); err == nil {
+					fr.Read()
+				}
+			}
+		}
+		br := NewBinaryReader(bytes.NewReader(data))
+		for n := 0; ; n++ {
+			if _, err := br.Read(); err != nil {
+				break
+			}
+			if n > maxRecords {
+				t.Fatal("binary reader yielded implausibly many records")
+			}
+		}
+	})
+}

@@ -1,0 +1,304 @@
+package traces
+
+// Parallel block serialization.
+//
+// The binary codec spends almost all of its CPU inside encodeBody —
+// varint packing and dictionary lookups over a block of records — and
+// blocks are independent of each other by construction. blockPool
+// exploits that: filled block accumulators are handed to a bounded
+// worker pool for encoding while a single merger goroutine writes the
+// encoded frames back in strict submission order. It is the fleet
+// engine's ordered-streaming pattern (internal/fleet/stream.go) applied
+// to serialization: workers race, the output stream does not.
+//
+// The determinism contract holds by construction: block boundaries
+// depend only on the record sequence (every BlockRecords records), each
+// frame's bytes depend only on its block's records, and the merger
+// enforces submission order — so the output stream is byte-identical to
+// the sequential writer's for every worker count
+// (TestParallelBinaryMatchesSequential pins it).
+//
+// Lifecycle: the pool's goroutines start lazily on the first Write and
+// stop on every Flush, after draining — a flushed writer owns no
+// goroutines, so RecordWriter consumers that only ever call
+// Write/.../Flush never leak. The stream stays appendable: the next
+// Write simply restarts the pool.
+
+import (
+	"compress/flate"
+	"encoding/binary"
+	"io"
+	"sync"
+)
+
+// encJob carries one filled block accumulator through the worker pool.
+type encJob struct {
+	acc   *blockAccum
+	frame []byte        // encoded frame; set by the worker before done closes
+	done  chan struct{} // closed by the worker when frame is ready
+}
+
+// encScratch is per-worker encode state. The flate compressor is created
+// lazily, only by framings that compress.
+type encScratch struct {
+	fw *flate.Writer
+}
+
+// blockPool encodes blocks on a bounded worker pool and writes the
+// resulting frames to w in strict submission order. finish runs on a
+// worker goroutine and must return frame bytes owned by the job's accum
+// (valid until the accum is recycled); onFrame, when non-nil, runs on
+// the merger goroutine after each successful frame write, before the
+// accum is reset — index builders and telemetry hang off it.
+type blockPool struct {
+	w       io.Writer
+	workers int
+	finish  func(st *encScratch, acc *blockAccum) []byte
+	onFrame func(acc *blockAccum, frame []byte)
+
+	// Accumulator free list: its capacity bounds the blocks in flight
+	// (encoding, queued, or being filled), which bounds memory and
+	// provides backpressure when encoding falls behind accumulation.
+	free      chan *blockAccum
+	allocated int
+
+	running bool
+	jobs    chan *encJob
+	order   chan *encJob
+	wg      sync.WaitGroup // workers
+	mwg     sync.WaitGroup // merger
+
+	mu  sync.Mutex
+	err error // first write error, latched forever
+}
+
+func newBlockPool(w io.Writer, workers int,
+	finish func(*encScratch, *blockAccum) []byte,
+	onFrame func(*blockAccum, []byte)) *blockPool {
+
+	if workers < 1 {
+		workers = 1
+	}
+	return &blockPool{
+		w: w, workers: workers, finish: finish, onFrame: onFrame,
+		free: make(chan *blockAccum, workers+2),
+	}
+}
+
+func (p *blockPool) loadErr() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}
+
+func (p *blockPool) setErr(err error) {
+	p.mu.Lock()
+	if p.err == nil {
+		p.err = err
+	}
+	p.mu.Unlock()
+}
+
+// start spins up the workers and the merger. Idempotent while running.
+func (p *blockPool) start() {
+	if p.running {
+		return
+	}
+	// Channel capacity matches the accum pool, so submit never blocks:
+	// backpressure happens in getAccum, where it is counted.
+	p.jobs = make(chan *encJob, cap(p.free))
+	p.order = make(chan *encJob, cap(p.free))
+	for i := 0; i < p.workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	p.mwg.Add(1)
+	go p.merge()
+	p.running = true
+}
+
+func (p *blockPool) worker() {
+	defer p.wg.Done()
+	st := &encScratch{}
+	for j := range p.jobs {
+		j.frame = p.finish(st, j.acc)
+		close(j.done)
+	}
+}
+
+// merge writes frames in submission order; on a write error all later
+// frames are skipped (the error is latched) but their accums are still
+// recycled so producers never deadlock.
+func (p *blockPool) merge() {
+	defer p.mwg.Done()
+	for j := range p.order {
+		<-j.done
+		if p.loadErr() == nil {
+			if _, err := p.w.Write(j.frame); err != nil {
+				p.setErr(err)
+			} else if p.onFrame != nil {
+				p.onFrame(j.acc, j.frame)
+			}
+		}
+		j.acc.reset()
+		p.free <- j.acc
+	}
+}
+
+// getAccum returns a reset accumulator, blocking (and counting the stall)
+// when every accumulator is in flight.
+func (p *blockPool) getAccum() *blockAccum {
+	select {
+	case acc := <-p.free:
+		return acc
+	default:
+	}
+	if p.allocated < cap(p.free) {
+		p.allocated++
+		return &blockAccum{}
+	}
+	mParStalls.Inc()
+	return <-p.free
+}
+
+// submit hands a filled accumulator to the pool. The caller must have
+// called start and must not touch acc afterwards.
+func (p *blockPool) submit(acc *blockAccum) {
+	j := &encJob{acc: acc, done: make(chan struct{})}
+	p.order <- j
+	p.jobs <- j
+}
+
+// drain waits for every submitted block to be encoded and written, stops
+// all pool goroutines, and returns the first write error. The pool can
+// be started again afterwards.
+func (p *blockPool) drain() error {
+	if !p.running {
+		return p.loadErr()
+	}
+	close(p.jobs)
+	close(p.order)
+	p.wg.Wait()
+	p.mwg.Wait()
+	p.running = false
+	return p.loadErr()
+}
+
+// finishBinaryFrame encodes one accum as a length-prefixed binary block —
+// the exact frame BinaryWriter.flushBlock writes.
+func finishBinaryFrame(_ *encScratch, acc *blockAccum) []byte {
+	const pfxReserve = binary.MaxVarintLen64
+	if cap(acc.buf) < pfxReserve {
+		acc.buf = make([]byte, pfxReserve)
+	}
+	body := acc.encodeBody(acc.buf[:pfxReserve])
+	acc.buf = body // keep the grown scratch with the accum
+	var pfx [binary.MaxVarintLen64]byte
+	np := binary.PutUvarint(pfx[:], uint64(len(body)-pfxReserve))
+	start := pfxReserve - np
+	copy(body[start:], pfx[:np])
+	return body[start:]
+}
+
+// ParallelBinaryWriter streams flow records in the binary columnar
+// format, encoding blocks on Workers goroutines while preserving the
+// sequential writer's exact output bytes. Methods must not be called
+// concurrently — parallelism is internal. Use it where serialization,
+// not generation, is the bottleneck (the export scenarios in
+// PERFORMANCE.md); NewBinaryWriter remains the zero-goroutine path.
+type ParallelBinaryWriter struct {
+	// Anonymize replaces client addresses with the stable 48-bit tokens
+	// of the CSV format. It must be set before the first Write.
+	Anonymize bool
+	// BlockRecords overrides the records-per-block target (0 means
+	// DefaultBlockRecords). It must be set before the first Write.
+	BlockRecords int
+
+	w           io.Writer
+	pool        *blockPool
+	cur         *blockAccum
+	wroteHeader bool
+	err         error
+}
+
+// NewParallelBinaryWriter wraps w with a pool of workers block encoders
+// (workers < 1 means 1). The output stream is byte-identical to
+// NewBinaryWriter's for every worker count.
+func NewParallelBinaryWriter(w io.Writer, workers int) *ParallelBinaryWriter {
+	pw := &ParallelBinaryWriter{w: w}
+	pw.pool = newBlockPool(w, workers, finishBinaryFrame, func(acc *blockAccum, frame []byte) {
+		mBinBlocks.Inc()
+		mBinRecords.Add(uint64(acc.n))
+		mBinBytes.Add(uint64(len(frame)))
+		mParBlocks.Inc()
+	})
+	return pw
+}
+
+func (w *ParallelBinaryWriter) blockTarget() int {
+	if w.BlockRecords > 0 {
+		return w.BlockRecords
+	}
+	return DefaultBlockRecords
+}
+
+// ensureStarted writes the stream header once and (re)starts the pool.
+func (w *ParallelBinaryWriter) ensureStarted() error {
+	if w.err != nil {
+		return w.err
+	}
+	if !w.wroteHeader {
+		if err := writeBinaryHeader(w.w, w.Anonymize); err != nil {
+			w.err = err
+			return err
+		}
+		w.wroteHeader = true
+	}
+	w.pool.start()
+	return nil
+}
+
+// Write buffers one record; nothing in r is retained after return. A
+// full block is handed to the worker pool, blocking only when every
+// in-flight block is still being encoded (backpressure).
+func (w *ParallelBinaryWriter) Write(r *FlowRecord) error {
+	if err := w.ensureStarted(); err != nil {
+		return err
+	}
+	if err := w.pool.loadErr(); err != nil {
+		return err
+	}
+	if w.cur == nil {
+		w.cur = w.pool.getAccum()
+	}
+	w.cur.add(r, w.Anonymize)
+	if w.cur.n >= w.blockTarget() {
+		w.pool.submit(w.cur)
+		w.cur = nil
+	}
+	return nil
+}
+
+// Flush submits any partial block, waits until every submitted block has
+// been encoded and written, and stops the pool goroutines — after Flush
+// the writer owns no goroutines. The stream stays appendable: the next
+// Write restarts the pool. A zero-record Flush still writes the header,
+// so an empty export is a valid (empty) stream.
+func (w *ParallelBinaryWriter) Flush() error {
+	if err := w.ensureStarted(); err != nil {
+		return err
+	}
+	if w.cur != nil {
+		if w.cur.n > 0 {
+			w.pool.submit(w.cur)
+		} else {
+			w.pool.free <- w.cur
+		}
+		w.cur = nil
+	}
+	if err := w.pool.drain(); err != nil {
+		w.err = err
+		return err
+	}
+	return nil
+}

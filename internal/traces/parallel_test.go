@@ -1,0 +1,229 @@
+package traces
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// encodeSequential serializes recs with the sequential BinaryWriter —
+// the byte-identity reference for the parallel writer.
+func encodeSequential(t *testing.T, recs []*FlowRecord, blockRecords int, anon bool) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewBinaryWriter(&buf)
+	w.BlockRecords = blockRecords
+	w.Anonymize = anon
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestParallelBinaryMatchesSequential pins the determinism contract: the
+// parallel writer's output is byte-identical to the sequential writer's
+// for every worker count, including partial tail blocks and anonymized
+// streams.
+func TestParallelBinaryMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	var recs []*FlowRecord
+	for i := 0; i < 10_000; i++ {
+		recs = append(recs, randRecord(rng, i))
+	}
+	for _, anon := range []bool{false, true} {
+		for _, blockRecords := range []int{257, 1024} {
+			want := encodeSequential(t, recs, blockRecords, anon)
+			for _, workers := range []int{1, 2, 8} {
+				var buf bytes.Buffer
+				pw := NewParallelBinaryWriter(&buf, workers)
+				pw.BlockRecords = blockRecords
+				pw.Anonymize = anon
+				for _, r := range recs {
+					if err := pw.Write(r); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if err := pw.Flush(); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(buf.Bytes(), want) {
+					t.Fatalf("anon=%v block=%d workers=%d: output differs from sequential writer (%d vs %d bytes)",
+						anon, blockRecords, workers, buf.Len(), len(want))
+				}
+			}
+		}
+	}
+}
+
+// TestParallelBinaryRoundTrip decodes a parallel-written stream with the
+// ordinary reader.
+func TestParallelBinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	var recs []*FlowRecord
+	for i := 0; i < 3_000; i++ {
+		recs = append(recs, randRecord(rng, i))
+	}
+	var buf bytes.Buffer
+	pw := NewParallelBinaryWriter(&buf, 4)
+	pw.BlockRecords = 256
+	for _, r := range recs {
+		if err := pw.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	br := NewBinaryReader(&buf)
+	for i, want := range recs {
+		got, err := br.Read()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(normalize(got), normalize(want)) {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+	if _, err := br.Read(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+// TestParallelBinaryAppendAfterFlush exercises the restart path: Flush
+// stops the pool, a later Write restarts it, and the stream stays valid.
+func TestParallelBinaryAppendAfterFlush(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	var recs []*FlowRecord
+	for i := 0; i < 700; i++ {
+		recs = append(recs, randRecord(rng, i))
+	}
+	var buf bytes.Buffer
+	pw := NewParallelBinaryWriter(&buf, 3)
+	pw.BlockRecords = 128
+	for _, r := range recs[:300] {
+		if err := pw.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs[300:] {
+		if err := pw.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	br := NewBinaryReader(&buf)
+	for i := range recs {
+		got, err := br.Read()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(normalize(got), normalize(recs[i])) {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+	if _, err := br.Read(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+// failAfterWriter errors every write after the first n.
+type failAfterWriter struct {
+	n    int
+	seen int
+}
+
+var errWriterBroke = errors.New("writer broke")
+
+func (w *failAfterWriter) Write(p []byte) (int, error) {
+	w.seen++
+	if w.seen > w.n {
+		return 0, errWriterBroke
+	}
+	return len(p), nil
+}
+
+// TestParallelBinaryWriteError checks that an underlying write error is
+// latched and surfaced, and that Flush still drains cleanly (no leaked
+// goroutines, no deadlock).
+func TestParallelBinaryWriteError(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	pw := NewParallelBinaryWriter(&failAfterWriter{n: 2}, 4) // header + 1 block succeed
+	pw.BlockRecords = 64
+	var failed bool
+	for i := 0; i < 10_000; i++ {
+		if err := pw.Write(randRecord(rng, i)); err != nil {
+			if !errors.Is(err, errWriterBroke) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			failed = true
+			break
+		}
+	}
+	err := pw.Flush()
+	if !failed && err == nil {
+		t.Fatal("write error never surfaced")
+	}
+	if err != nil && !errors.Is(err, errWriterBroke) {
+		t.Fatalf("Flush: unexpected error: %v", err)
+	}
+}
+
+// waitForGoroutines polls until the goroutine count drops back to base
+// (the runtime needs a beat to unwind exiting goroutines).
+func waitForGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.Gosched()
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d running, want <= %d", runtime.NumGoroutine(), base)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestParallelBinaryNoGoroutineLeak pins the lifecycle contract: after
+// Flush the writer owns no goroutines, even when the stream is abandoned
+// early (a partial block was buffered but the consumer stops writing).
+func TestParallelBinaryNoGoroutineLeak(t *testing.T) {
+	base := runtime.NumGoroutine()
+	rng := rand.New(rand.NewSource(25))
+	var buf bytes.Buffer
+	pw := NewParallelBinaryWriter(&buf, 8)
+	pw.BlockRecords = 64
+	// Abandon mid-block: 100 records leaves a partial accumulator.
+	for i := 0; i < 100; i++ {
+		if err := pw.Write(randRecord(rng, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	waitForGoroutines(t, base)
+
+	// And again with an empty Flush (no records at all).
+	pw2 := NewParallelBinaryWriter(&buf, 8)
+	if err := pw2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	waitForGoroutines(t, base)
+}

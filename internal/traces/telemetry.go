@@ -1,7 +1,5 @@
 package traces
 
-import "io"
-
 import "insidedropbox/internal/telemetry"
 
 // Serialization telemetry per codec. The CSV writer counts locally and
@@ -13,18 +11,19 @@ var (
 	mBinRecords = telemetry.NewCounter("traces.binary_records")
 	mBinBytes   = telemetry.NewCounter("traces.binary_bytes")
 	mBinBlocks  = telemetry.NewCounter("traces.binary_blocks")
+
+	// Parallel writer: blocks encoded through the worker pool, and the
+	// times a producer stalled waiting for a free block accumulator
+	// (encoding falling behind generation — the backpressure signal).
+	mParBlocks = telemetry.NewCounter("traces.parallel_blocks")
+	mParStalls = telemetry.NewCounter("traces.parallel_block_waits")
+
+	// Flate archival tier: compressed frames written, records inside
+	// them, pre- and post-compression byte counts (their ratio is the
+	// achieved compression), and index-driven seeks served.
+	mFlateFrames   = telemetry.NewCounter("traces.flate_frames")
+	mFlateRecords  = telemetry.NewCounter("traces.flate_records")
+	mFlateRawBytes = telemetry.NewCounter("traces.flate_raw_bytes")
+	mFlateBytes    = telemetry.NewCounter("traces.flate_bytes")
+	mFlateSeeks    = telemetry.NewCounter("traces.flate_seeks")
 )
-
-// meteredWriter counts the bytes reaching the underlying writer. The
-// count accumulates as a plain int (writers are single-goroutine by
-// contract) and is published by the owning codec's Flush.
-type meteredWriter struct {
-	w io.Writer
-	n int64
-}
-
-func (m *meteredWriter) Write(p []byte) (int, error) {
-	n, err := m.w.Write(p)
-	m.n += int64(n)
-	return n, err
-}

@@ -3,6 +3,7 @@ package insidedropbox
 import (
 	"context"
 	"fmt"
+	"io"
 	"iter"
 	"os"
 	"path/filepath"
@@ -538,4 +539,41 @@ func WriteRecordStream(w RecordWriter, seq iter.Seq2[*FlowRecord, error]) error 
 		}
 	}
 	return w.Flush()
+}
+
+// RecordReader is the streaming source every trace deserialization
+// implements (BinaryTraceReader, FlateTraceReader): Read returns records
+// until io.EOF. The inverse of RecordWriter.
+type RecordReader interface {
+	Read() (*FlowRecord, error)
+}
+
+// ReadRecords adapts a RecordReader into the same iterator shape Records
+// produces, so an archived trace file re-streams through exactly the
+// code paths a live generation run feeds — analysis, aggregation, or
+// re-serialization. io.EOF ends the sequence cleanly; any other error
+// surfaces as the final (nil, err) pair:
+//
+//	f, _ := os.Open("campaign.idbf")
+//	seq := insidedropbox.ReadRecords(insidedropbox.NewFlateTraceReader(f))
+//	for r, err := range seq { ... }
+//
+// Seek the reader first (FlateTraceReader.SeekToRecord) to re-stream
+// just a shard or record range of an archival file.
+func ReadRecords(r RecordReader) iter.Seq2[*FlowRecord, error] {
+	return func(yield func(*FlowRecord, error) bool) {
+		for {
+			rec, err := r.Read()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				yield(nil, err)
+				return
+			}
+			if !yield(rec, nil) {
+				return
+			}
+		}
+	}
 }
