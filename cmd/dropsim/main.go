@@ -14,6 +14,7 @@
 //	        [-shards N] [-workers N] [-devices-scale F]
 //	        [-profile NAME] [-format csv|binary|binary-flate]
 //	        [-serialize-workers N] [-summary] [-o FILE]
+//	        [-backend infinite|provisioned|scarce]
 //	        [-manifest FILE] [-pprof ADDR] [-cpuprofile FILE]
 //	        [-memprofile FILE] [-telemetry-interval DUR]
 //
@@ -26,6 +27,15 @@
 // insidedropbox.RunManifest) with the FNV-1a hash of the serialized
 // stream, per-shard timings and a telemetry snapshot — the reproducibility
 // record the telemetry-on/off golden check in CI compares.
+//
+// -backend tees the record stream into the server capacity model
+// (internal/backend) and, after the export, replays it against the named
+// preset, printing per-node utilization, drop counts and queueing-delay
+// quantiles to stderr. The tee is observation-only: the exported bytes and
+// the manifest stream hash are identical with and without -backend, and an
+// infinite preset reports zero delay and zero drops (the determinism
+// contract's point 14). With -manifest, the backend.* counters land in the
+// manifest's telemetry snapshot.
 //
 // Records stream from the generator shards straight into the trace
 // writer over the facade's record iterator, so memory stays bounded
@@ -63,6 +73,7 @@ import (
 
 	"insidedropbox"
 	"insidedropbox/internal/analysis"
+	"insidedropbox/internal/backend"
 	"insidedropbox/internal/cli"
 	"insidedropbox/internal/telemetry"
 )
@@ -78,6 +89,8 @@ func main() {
 		strings.Join(insidedropbox.CapabilityNames(), "|"))
 	format := flag.String("format", "csv", "trace format: csv (public-release compatible), binary (columnar, ~3.5x smaller), or binary-flate (compressed archival with seek index)")
 	serWorkers := flag.Int("serialize-workers", 0, "block-encoding workers for binary formats (0 = GOMAXPROCS; never changes output bytes)")
+	backendPreset := flag.String("backend", "", "after the export, replay the stream against the server "+
+		"capacity model under this preset: "+strings.Join(insidedropbox.BackendPresets(), "|"))
 	summary := flag.Bool("summary", false, "print streaming aggregates instead of trace records")
 	out := flag.String("o", "", "output file (default stdout)")
 	manifest := flag.String("manifest", "", "write a run manifest (stream hash, shard timings, telemetry snapshot) to this file")
@@ -87,6 +100,21 @@ func main() {
 	if *format != "csv" && *format != "binary" && *format != "binary-flate" {
 		fmt.Fprintf(os.Stderr, "unknown format %q (valid: csv, binary, binary-flate)\n", *format)
 		os.Exit(2)
+	}
+	if *backendPreset != "" {
+		valid := false
+		for _, p := range insidedropbox.BackendPresets() {
+			valid = valid || p == *backendPreset
+		}
+		if !valid {
+			fmt.Fprintf(os.Stderr, "unknown backend preset %q (valid: %s)\n",
+				*backendPreset, strings.Join(insidedropbox.BackendPresets(), ", "))
+			os.Exit(2)
+		}
+		if *summary {
+			fmt.Fprintln(os.Stderr, "-backend needs the record stream; it cannot combine with -summary")
+			os.Exit(2)
+		}
 	}
 
 	cfg, err := cli.VantagePoint(*vp, *scale)
@@ -137,6 +165,7 @@ func main() {
 			"devices_scale": strconv.FormatFloat(*devScale, 'g', -1, 64),
 			"format":        *format,
 			"profile":       *profile,
+			"backend":       *backendPreset,
 		})
 		w = io.MultiWriter(w, rec.hash)
 		fc.Observer = rec.observe
@@ -150,11 +179,28 @@ func main() {
 		return
 	}
 
-	stats, volume, err := streamTraces(ctx, cfg, *seed, fc, w, *format, *serWorkers)
+	// The backend collector tees off the record stream before
+	// serialization — observation only, so -backend never changes the
+	// exported bytes (the manifest stream hash stays preset-independent).
+	var col *backend.Collector
+	var tee func(*insidedropbox.FlowRecord)
+	if *backendPreset != "" {
+		col = &backend.Collector{}
+		tee = col.Consume
+	}
+
+	stats, volume, err := streamTraces(ctx, cfg, *seed, fc, w, *format, *serWorkers, tee)
 	if err != nil {
 		cli.Exit(ctx, "writing traces", err)
 	}
+	if col != nil {
+		if err := simulateBackend(ctx, *backendPreset, col.Requests); err != nil {
+			cli.Exit(ctx, "backend simulation", err)
+		}
+	}
 	if rec != nil {
+		// Saved after the backend replay, so the telemetry snapshot in the
+		// manifest carries the backend.* counters and gauges.
 		if err := rec.save(*manifest); err != nil {
 			cli.Exit(ctx, "writing manifest", err)
 		}
@@ -230,7 +276,8 @@ func printSummary(ctx context.Context, cfg insidedropbox.VPConfig, seed int64,
 // dataset. The sink latches the first write error and stops the stream; a
 // cancelled context stops it at shard granularity.
 func streamTraces(ctx context.Context, cfg insidedropbox.VPConfig, seed int64,
-	fc insidedropbox.FleetConfig, w io.Writer, format string, serWorkers int) (insidedropbox.FleetStats, float64, error) {
+	fc insidedropbox.FleetConfig, w io.Writer, format string, serWorkers int,
+	tee func(*insidedropbox.FlowRecord)) (insidedropbox.FleetStats, float64, error) {
 
 	if serWorkers < 1 {
 		serWorkers = runtime.GOMAXPROCS(0)
@@ -254,6 +301,9 @@ func streamTraces(ctx context.Context, cfg insidedropbox.VPConfig, seed int64,
 	var volume float64
 	stats, err := insidedropbox.StreamRecords(ctx, cfg, seed, fc, func(r *insidedropbox.FlowRecord) bool {
 		volume += float64(r.BytesUp + r.BytesDown)
+		if tee != nil {
+			tee(r)
+		}
 		sink.Consume(r)
 		return sink.Err == nil
 	})
@@ -267,4 +317,32 @@ func streamTraces(ctx context.Context, cfg insidedropbox.VPConfig, seed int64,
 		err = bw.Flush()
 	}
 	return stats, volume, err
+}
+
+// simulateBackend replays the collected arrivals against the named
+// capacity preset and prints the load response to stderr: overall counts
+// and delay quantiles, then per-node utilization.
+func simulateBackend(ctx context.Context, preset string, reqs []backend.Request) error {
+	backend.SortRequests(reqs)
+	cfg, err := backend.PresetConfig(preset, reqs)
+	if err != nil {
+		return err
+	}
+	rep, err := backend.Simulate(ctx, cfg, reqs)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "backend %q: %d served / %d dropped / %d shed of %d requests; "+
+		"queueing delay mean %v p95 %v p99 %v\n",
+		preset, rep.Served, rep.Dropped, rep.Shed, rep.Requests,
+		rep.MeanDelay(), rep.DelayQuantile(0.95), rep.DelayQuantile(0.99))
+	for _, n := range rep.Nodes {
+		util := "unbounded"
+		if n.Concurrency > 0 {
+			util = fmt.Sprintf("%.1f%% of %d slots", 100*n.Utilization, n.Concurrency)
+		}
+		fmt.Fprintf(os.Stderr, "  %-12s served %-8d dropped %-6d queue max %-6d util %s\n",
+			n.Name, n.Served, n.Dropped+n.Shed, n.QueueMax, util)
+	}
+	return nil
 }

@@ -60,7 +60,10 @@ import (
 	"path/filepath"
 	"strings"
 
+	"context"
+
 	"insidedropbox/internal/analysis"
+	"insidedropbox/internal/backend"
 	"insidedropbox/internal/capability"
 	"insidedropbox/internal/experiments"
 	"insidedropbox/internal/fleet"
@@ -268,6 +271,48 @@ type WhatIfConfig = experiments.WhatIfConfig
 // the baseline-relative comparison table via Result.
 type WhatIfReport = experiments.WhatIfReport
 
+// ---------- backend capacity model ----------
+
+// BackendRequest is one client flow reduced to server-side work: arrival
+// time, service class (control/storage/notify), demand and locality.
+type BackendRequest = backend.Request
+
+// BackendConfig is one simulated server deployment: the node fleet plus
+// its admission and routing policies.
+type BackendConfig = backend.Config
+
+// BackendReport is the observed load response of one backend simulation:
+// per-request queueing-delay distributions, per-node utilization, drop
+// and shed counts.
+type BackendReport = backend.Report
+
+// BackendPresets lists the backend capacity preset names in help order
+// (infinite, provisioned, scarce).
+func BackendPresets() []string { return backend.Presets() }
+
+// BackendPresetConfig builds a named capacity preset sized against an
+// arrival set (presets provision relative to the measured offered load,
+// so the same name stays meaningful at any population scale).
+func BackendPresetConfig(name string, reqs []BackendRequest) (BackendConfig, error) {
+	return backend.PresetConfig(name, reqs)
+}
+
+// CollectBackendArrivals streams one vantage point through the fleet
+// engine and returns its backend arrivals in canonical order — the input
+// SimulateBackend replays. Worker count never changes the result; shard
+// count is part of the experiment definition.
+func CollectBackendArrivals(ctx context.Context, cfg VPConfig, seed int64, fc FleetConfig) ([]BackendRequest, FleetStats, error) {
+	return backend.CollectArrivals(ctx, cfg, seed, fc)
+}
+
+// SimulateBackend replays an arrival set against a backend deployment and
+// returns the load response. An infinite-capacity config is invisible:
+// zero delay, zero drops, and the record streams that produced the
+// arrivals are untouched (determinism-contract point 14).
+func SimulateBackend(ctx context.Context, cfg BackendConfig, reqs []BackendRequest) (*BackendReport, error) {
+	return backend.Simulate(ctx, cfg, reqs)
+}
+
 // ---------- exports ----------
 
 // SaveTraces writes a dataset's flow records as anonymized CSV, the format
@@ -310,7 +355,9 @@ func WriteResults(dir string, results []*Result) error {
 				fmt.Fprintf(&body, "  %s = %.6g\n", k, r.Metrics[k])
 			}
 		}
-		name := filepath.Join(dir, r.ID+".txt")
+		// Namespaced IDs ("backend/baseline") flatten to one file per
+		// result rather than growing a directory tree.
+		name := filepath.Join(dir, strings.ReplaceAll(r.ID, "/", "-")+".txt")
 		if err := os.WriteFile(name, []byte(body.String()), 0o644); err != nil {
 			return err
 		}

@@ -1,0 +1,198 @@
+package backend
+
+import (
+	"context"
+	"sort"
+	"time"
+
+	"insidedropbox/internal/classify"
+	"insidedropbox/internal/fleet"
+	"insidedropbox/internal/traces"
+	"insidedropbox/internal/workload"
+)
+
+// Class is the backend service a request lands on, mirroring the paper's
+// server-side split: the control plane (meta/login/api), the storage
+// nodes, and the notification servers.
+type Class uint8
+
+const (
+	ClassControl Class = iota
+	ClassStorage
+	ClassNotify
+	numClasses
+)
+
+// String returns the class label used in reports and metric names.
+func (c Class) String() string {
+	switch c {
+	case ClassControl:
+		return "control"
+	case ClassStorage:
+		return "storage"
+	case ClassNotify:
+		return "notify"
+	}
+	return "unknown"
+}
+
+// Request is one client flow translated into backend work: it arrives at
+// Arrive and demands Work service units from one node of its Class.
+// Requests are plain values — deriving one from a pooled FlowRecord copies
+// everything it keeps, so Collector is safe on the pooled Aggregate path.
+type Request struct {
+	// Arrive is the flow's first packet, as an offset from campaign start.
+	Arrive time.Duration
+	// Class selects the server pool.
+	Class Class
+	// Work is the service demand in the class's units: payload bytes for
+	// storage transfers, one operation for control and notification hits.
+	Work float64
+	// Region is a stable locality tag derived from the client address;
+	// the region-affine routing policy keys on it.
+	Region uint8
+	// Key is a content hash of the originating flow. It makes the
+	// canonical arrival order total: two requests with equal timestamps
+	// sort by Key, so the simulated interleaving is a function of the
+	// request multiset alone, not of shard merge order.
+	Key uint64
+}
+
+// fnv64a hashes a word sequence (FNV-1a over the byte-expanded words).
+func fnv64a(words ...uint64) uint64 {
+	const offset, prime = 0xcbf29ce484222325, 0x100000001b3
+	h := uint64(offset)
+	for _, w := range words {
+		for i := 0; i < 8; i++ {
+			h ^= (w >> (8 * i)) & 0xff
+			h *= prime
+		}
+	}
+	return h
+}
+
+// RequestOf derives the backend request of one flow record. Only Dropbox
+// flows reach the backend; ok is false for everything else (background
+// traffic, YouTube, other providers).
+func RequestOf(r *traces.FlowRecord) (Request, bool) {
+	c := fleet.ClassifyRecord(r)
+	if !c.Dropbox {
+		return Request{}, false
+	}
+	rq := Request{
+		Arrive: r.FirstPacket,
+		Region: uint8(r.Client >> 16),
+		Key: fnv64a(uint64(r.Client)<<32|uint64(r.Server),
+			uint64(r.ClientPort)<<16|uint64(r.ServerPort),
+			uint64(r.FirstPacket),
+			uint64(r.BytesUp)<<1^uint64(r.BytesDown)),
+		Work: 1,
+	}
+	switch {
+	case c.Notify:
+		rq.Class = ClassNotify
+	case c.Storage():
+		rq.Class = ClassStorage
+		// Service demand of a storage node scales with the transferred
+		// payload in the tagged direction, floored at one unit.
+		if p := classify.Payload(r, c.Dir); p > 1 {
+			rq.Work = float64(p)
+		}
+	default:
+		rq.Class = ClassControl
+	}
+	return rq, true
+}
+
+// SortRequests puts requests into the canonical arrival order: by arrival
+// time, then content key, then class and work. The order is total for any
+// realistic request set, so simulating a sorted slice is deterministic no
+// matter how the slice was assembled (shard concatenation order, worker
+// count, a re-run).
+func SortRequests(reqs []Request) {
+	sort.Slice(reqs, func(i, j int) bool {
+		a, b := reqs[i], reqs[j]
+		if a.Arrive != b.Arrive {
+			return a.Arrive < b.Arrive
+		}
+		if a.Key != b.Key {
+			return a.Key < b.Key
+		}
+		if a.Class != b.Class {
+			return a.Class < b.Class
+		}
+		return a.Work < b.Work
+	})
+}
+
+// Collector is the fleet.Aggregator that turns a campaign's record stream
+// into backend arrivals. It retains only Request values (never the pooled
+// records), so it is safe on the allocation-free Aggregate path.
+type Collector struct {
+	Requests []Request
+}
+
+// Consume implements fleet.Sink.
+func (c *Collector) Consume(r *traces.FlowRecord) {
+	if rq, ok := RequestOf(r); ok {
+		c.Requests = append(c.Requests, rq)
+	}
+}
+
+// Merge implements fleet.Aggregator (shard-order concatenation; the
+// canonical sort happens once at collection end).
+func (c *Collector) Merge(other fleet.Aggregator) {
+	c.Requests = append(c.Requests, other.(*Collector).Requests...)
+}
+
+// CollectArrivals streams one vantage point through the sharded fleet
+// engine and returns its backend arrivals in canonical order. Worker count
+// never changes the result (the fleet contract plus the canonical sort);
+// shard count is part of the experiment definition, exactly as for every
+// other aggregate. Cancelling ctx aborts at fleet-shard granularity.
+func CollectArrivals(ctx context.Context, vp workload.VPConfig, seed int64, fc fleet.Config) ([]Request, fleet.VPStats, error) {
+	agg, stats, err := fleet.Aggregate(ctx, vp, seed, fc, func(int) fleet.Aggregator { return &Collector{} })
+	if err != nil {
+		return nil, stats, err
+	}
+	reqs := agg.(*Collector).Requests
+	SortRequests(reqs)
+	return reqs, stats, nil
+}
+
+// ScaleLoad returns a copy of reqs with arrival times compressed by
+// factor m (> 1 means m-times the offered load at the same total work):
+// the saturation analysis ramps offered load without changing what each
+// request demands.
+func ScaleLoad(reqs []Request, m float64) []Request {
+	out := make([]Request, len(reqs))
+	for i, r := range reqs {
+		r.Arrive = time.Duration(float64(r.Arrive) / m)
+		out[i] = r
+	}
+	SortRequests(out)
+	return out
+}
+
+// OfferedRate measures the per-class offered load of an arrival set in
+// work units per second, over the span from campaign start to the last
+// arrival. Presets use it to provision service rates relative to demand,
+// so configurations stay meaningful at any population scale.
+func OfferedRate(reqs []Request) [3]float64 {
+	var work [3]float64
+	var span time.Duration
+	for _, r := range reqs {
+		work[r.Class] += r.Work
+		if r.Arrive > span {
+			span = r.Arrive
+		}
+	}
+	if span <= 0 {
+		span = time.Second
+	}
+	var rate [3]float64
+	for c := range rate {
+		rate[c] = work[c] / span.Seconds()
+	}
+	return rate
+}

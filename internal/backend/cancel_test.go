@@ -1,0 +1,115 @@
+package backend
+
+import (
+	"context"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"insidedropbox/internal/fleet"
+	"insidedropbox/internal/workload"
+)
+
+// countdownCtx reports itself cancelled after its Err method has been
+// consulted n times — a deterministic way to cancel mid-simulation at a
+// known event depth. Simulate polls Err on the event loop only, so the
+// counter counts event-loop visits.
+type countdownCtx struct {
+	context.Context
+	n int
+}
+
+func (c *countdownCtx) Err() error {
+	c.n--
+	if c.n < 0 {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestBackendCancelBeforeStart pins that an already-cancelled context
+// stops the event loop before the first event.
+func TestBackendCancelBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	reqs := synthReqs(3, 1000)
+	cfg, err := PresetConfig(PresetInfinite, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Simulate(ctx, cfg, reqs)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if rep == nil || rep.Events != 0 {
+		t.Fatalf("events processed after pre-cancelled ctx: %+v", rep)
+	}
+}
+
+// TestBackendCancelMidSimulation cancels at a known event depth and pins
+// that the loop stops at event granularity: a partial report, strictly
+// between zero and all events, with the cancellation error.
+func TestBackendCancelMidSimulation(t *testing.T) {
+	reqs := synthReqs(4, 20000)
+	cfg, err := PresetConfig(PresetInfinite, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 2 * int64(len(reqs)) // one arrival + one departure each
+
+	ctx := &countdownCtx{Context: context.Background(), n: 20}
+	rep, err := Simulate(ctx, cfg, reqs)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if rep.Events == 0 || rep.Events >= total {
+		t.Fatalf("events = %d, want strictly between 0 and %d (a mid-run stop)", rep.Events, total)
+	}
+	// The cancellation poll runs every cancelCheckMask+1 events, so the
+	// stop lands within one poll window of the 20th check.
+	if max := int64(21 * (cancelCheckMask + 1)); rep.Events > max {
+		t.Fatalf("events = %d, want <= %d (event-granularity cancellation)", rep.Events, max)
+	}
+	// The partial report is still internally consistent.
+	if rep.Served > int64(rep.Requests) {
+		t.Fatalf("partial report served %d of %d requests", rep.Served, rep.Requests)
+	}
+}
+
+// TestBackendCancelCollectArrivals cancels the fleet collection from a
+// shard-completion event and pins both the error path and that no worker
+// goroutines leak past the return.
+func TestBackendCancelCollectArrivals(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var fired atomic.Bool
+	fc := fleet.Config{
+		Shards:  8,
+		Workers: 2,
+		Observer: func(fleet.ShardEvent) {
+			if fired.CompareAndSwap(false, true) {
+				cancel()
+			}
+		},
+	}
+	_, _, err := CollectArrivals(ctx, workload.Home1(0.02), 7, fc)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+
+	// Fleet workers exit before Aggregate returns; give the runtime a
+	// moment to retire them, then insist the goroutine count settled.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after cancellation", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

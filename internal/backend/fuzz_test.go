@@ -1,0 +1,52 @@
+package backend
+
+import (
+	"encoding/binary"
+	"testing"
+	"time"
+)
+
+// FuzzEventQueueOrdering feeds the event queue arbitrary push/pop
+// interleavings decoded from the fuzz input and verifies every pop
+// against the O(n) reference model: the queue must always yield the
+// pending event with the smallest (timestamp, push order). The input is
+// consumed three bytes per operation — a pop when the high bit of the
+// first byte is set (and events are pending), otherwise a push whose
+// 16-bit timestamp is the next two bytes, so dense timestamp collisions
+// (the tie-breaking territory) are easy for the fuzzer to reach.
+//
+// The committed seed corpus lives in testdata/fuzz/FuzzEventQueueOrdering;
+// CI runs this target in the fuzz-smoke job.
+func FuzzEventQueueOrdering(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x00, 0x07, 0x00, 0x00, 0x07, 0x80, 0x00, 0x00, 0x00, 0x00, 0x03, 0x80, 0x00, 0x00})
+	f.Add([]byte{0x01, 0xff, 0xff, 0x02, 0x00, 0x00, 0x03, 0x12, 0x34, 0x80, 0xaa, 0xbb})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var q EventQueue
+		var ref []refEv
+		var ord int32
+		for i := 0; i+3 <= len(data); i += 3 {
+			if data[i]&0x80 != 0 && len(ref) > 0 {
+				var want refEv
+				want, ref = refPop(ref)
+				got, ok := q.Pop()
+				if !ok {
+					t.Fatalf("queue empty with %d events in the model", len(ref)+1)
+				}
+				if got.At != want.at || got.Req != want.ord {
+					t.Fatalf("pop = (at %v, ord %d), want (at %v, ord %d)",
+						got.At, got.Req, want.at, want.ord)
+				}
+			} else {
+				at := time.Duration(binary.BigEndian.Uint16(data[i+1 : i+3]))
+				q.Push(Event{At: at, Req: ord})
+				ref = append(ref, refEv{at: at, ord: ord})
+				ord++
+			}
+		}
+		if q.Len() != len(ref) {
+			t.Fatalf("Len = %d, model has %d", q.Len(), len(ref))
+		}
+		drainAndVerify(t, &q, ref, 0)
+	})
+}

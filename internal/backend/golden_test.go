@@ -1,0 +1,132 @@
+package backend
+
+import (
+	"context"
+	"hash/fnv"
+	"reflect"
+	"testing"
+
+	"insidedropbox/internal/fleet"
+	"insidedropbox/internal/traces"
+	"insidedropbox/internal/workload"
+)
+
+// TestStreamGoldenWithBackend is determinism-contract point 14: attaching
+// a backend simulation to a record stream never changes the stream, and an
+// infinite-capacity backend is invisible — zero queueing delay, zero
+// drops, every request served. The golden hashes are the exact values
+// TestRecordStreamGolden (internal/workload) has pinned since the seed:
+// the records are serialized to CSV and hashed WHILE being teed into the
+// backend collector, so any backend-induced perturbation of the stream
+// (there is no mechanism for one — the collector copies what it keeps)
+// would show up as a hash mismatch at either shard count.
+func TestStreamGoldenWithBackend(t *testing.T) {
+	cases := []struct {
+		name    string
+		cfg     workload.VPConfig
+		seed    int64
+		nshards int
+		want    uint64
+	}{
+		{"home1-1shard", workload.Home1(0.02), 7, 1, 0xd01117eb3a234b9d},
+		{"home1-4shard", workload.Home1(0.02), 7, 4, 0x1887b88d5f86bad5},
+		{"home2-abnormal-1shard", workload.Home2(0.02), 9, 1, 0xa59024c1345e9efb},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := fnv.New64a()
+			w := traces.NewWriter(h)
+			col := &Collector{}
+			for sh := 0; sh < tc.nshards; sh++ {
+				workload.GenerateShard(tc.cfg, tc.seed, sh, tc.nshards, func(r *traces.FlowRecord) {
+					if err := w.Write(r); err != nil {
+						t.Fatal(err)
+					}
+					col.Consume(r)
+				})
+			}
+			if err := w.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			if got := h.Sum64(); got != tc.want {
+				t.Fatalf("record stream hash with backend tee = %#x, want %#x", got, tc.want)
+			}
+
+			reqs := col.Requests
+			SortRequests(reqs)
+			cfg, err := PresetConfig(PresetInfinite, reqs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := Simulate(context.Background(), cfg, reqs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Served != int64(len(reqs)) || rep.Dropped != 0 || rep.Shed != 0 {
+				t.Fatalf("infinite backend: served/dropped/shed = %d/%d/%d, want %d/0/0",
+					rep.Served, rep.Dropped, rep.Shed, len(reqs))
+			}
+			if rep.Delay.Max() != 0 {
+				t.Fatalf("infinite backend: max queueing delay = %v ns, want 0", rep.Delay.Max())
+			}
+		})
+	}
+}
+
+// TestBackendMetricsWorkerInvariant pins the other half of contract point
+// 14: backend metrics are a function of (seed, shard count, config) alone
+// — the fleet worker count never changes a single reported number. The
+// same campaign is collected at workers=1 and workers=8 and simulated
+// under a bounded preset; the arrival sets and the full reports must be
+// deeply equal.
+func TestBackendMetricsWorkerInvariant(t *testing.T) {
+	vp, seed := workload.Home1(0.02), int64(7)
+	collect := func(workers int) []Request {
+		reqs, _, err := CollectArrivals(context.Background(),
+			vp, seed, fleet.Config{Shards: 4, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return reqs
+	}
+	r1, r8 := collect(1), collect(8)
+	if !reflect.DeepEqual(r1, r8) {
+		t.Fatal("arrival sets differ between workers=1 and workers=8")
+	}
+	cfg, err := PresetConfig(PresetProvisioned, r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := func(reqs []Request) *Report {
+		rep, err := Simulate(context.Background(), cfg, ScaleLoad(reqs, 4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	if !reflect.DeepEqual(sim(r1), sim(r8)) {
+		t.Fatal("backend reports differ between workers=1 and workers=8")
+	}
+}
+
+// TestCollectorPoolingEquivalent pins that the pooled Aggregate path
+// (CollectArrivals) derives exactly the requests a plain unpooled tee
+// does: the Collector copies everything it keeps, so record recycling is
+// invisible.
+func TestCollectorPoolingEquivalent(t *testing.T) {
+	vp, seed, shards := workload.Home1(0.02), int64(7), 2
+
+	var tee Collector
+	for sh := 0; sh < shards; sh++ {
+		workload.GenerateShard(vp, seed, sh, shards, tee.Consume)
+	}
+	SortRequests(tee.Requests)
+
+	pooled, _, err := CollectArrivals(context.Background(), vp, seed, fleet.Config{Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tee.Requests, pooled) {
+		t.Fatal("pooled collection differs from the unpooled tee")
+	}
+}

@@ -1,0 +1,119 @@
+package backend
+
+import "fmt"
+
+// AdmissionPolicy decides what happens to a request that cannot start
+// service immediately on its routed node.
+type AdmissionPolicy string
+
+const (
+	// AdmitQueue waits in the node's FIFO queue; when the queue is full
+	// the request is dropped.
+	AdmitQueue AdmissionPolicy = "queue"
+	// AdmitReject never waits: a request that finds no free server slot
+	// is dropped on the spot, regardless of queue depth.
+	AdmitReject AdmissionPolicy = "reject"
+	// AdmitShed queues like AdmitQueue, but a full queue sheds its oldest
+	// waiting request to make room for the new one — stale work is
+	// sacrificed for fresh work, the classic overload-shedding shape.
+	AdmitShed AdmissionPolicy = "shed"
+)
+
+func (p AdmissionPolicy) validate() error {
+	switch p {
+	case AdmitQueue, AdmitReject, AdmitShed:
+		return nil
+	}
+	return fmt.Errorf("backend: unknown admission policy %q (want queue, reject or shed)", p)
+}
+
+// RoutingPolicy picks the serving node among a class's pool.
+type RoutingPolicy string
+
+const (
+	// RouteRoundRobin cycles through the class's nodes in config order.
+	RouteRoundRobin RoutingPolicy = "round-robin"
+	// RouteLeastLoaded picks the node with the fewest requests in service
+	// plus waiting; ties go to the lowest-indexed node.
+	RouteLeastLoaded RoutingPolicy = "least-loaded"
+	// RouteRegionAffine maps the request's region onto the class's region
+	// groups, then picks the least-loaded node inside the group — locality
+	// first, balance second.
+	RouteRegionAffine RoutingPolicy = "region-affine"
+)
+
+func (p RoutingPolicy) validate() error {
+	switch p {
+	case RouteRoundRobin, RouteLeastLoaded, RouteRegionAffine:
+		return nil
+	}
+	return fmt.Errorf("backend: unknown routing policy %q (want round-robin, least-loaded or region-affine)", p)
+}
+
+// router resolves a request to a node index. Node state lives in the
+// simulator; the router only holds the static class → node-pool mapping
+// plus the round-robin cursors.
+type router struct {
+	policy RoutingPolicy
+	// pools[class] lists node indices of that class, in config order.
+	pools [numClasses][]int32
+	// regions[class] groups the class's pool by NodeConfig.Region (group
+	// order = first appearance in config order), for region-affine.
+	regions [numClasses][][]int32
+	cursor  [numClasses]int
+}
+
+func newRouter(policy RoutingPolicy, nodes []NodeConfig) (*router, error) {
+	if err := policy.validate(); err != nil {
+		return nil, err
+	}
+	rt := &router{policy: policy}
+	for i, n := range nodes {
+		if n.Class >= numClasses {
+			return nil, fmt.Errorf("backend: node %q has unknown class %d", n.Name, n.Class)
+		}
+		rt.pools[n.Class] = append(rt.pools[n.Class], int32(i))
+	}
+	for c := range rt.pools {
+		byRegion := map[uint8]int{}
+		for _, idx := range rt.pools[c] {
+			reg := nodes[idx].Region
+			g, ok := byRegion[reg]
+			if !ok {
+				g = len(rt.regions[c])
+				byRegion[reg] = g
+				rt.regions[c] = append(rt.regions[c], nil)
+			}
+			rt.regions[c][g] = append(rt.regions[c][g], idx)
+		}
+	}
+	return rt, nil
+}
+
+// route picks the serving node for rq. load reports a node's current
+// occupancy (in service + queued). ok is false when the class has no pool
+// (the request is dropped as unroutable).
+func (rt *router) route(rq Request, load func(int32) int) (int32, bool) {
+	pool := rt.pools[rq.Class]
+	if len(pool) == 0 {
+		return 0, false
+	}
+	switch rt.policy {
+	case RouteRoundRobin:
+		i := rt.cursor[rq.Class] % len(pool)
+		rt.cursor[rq.Class]++
+		return pool[i], true
+	case RouteRegionAffine:
+		groups := rt.regions[rq.Class]
+		pool = groups[int(rq.Region)%len(groups)]
+		fallthrough
+	default: // RouteLeastLoaded, and the within-group pick of region-affine
+		best, bestLoad := pool[0], load(pool[0])
+		for _, idx := range pool[1:] {
+			if l := load(idx); l < bestLoad {
+				best, bestLoad = idx, l
+			}
+		}
+		return best, true
+	}
+}

@@ -1,0 +1,113 @@
+// Package backend is the discrete-event simulation of the Dropbox server
+// side — the capacity model the paper could only observe passively. The
+// client fleet (internal/fleet) generates flow records; this package turns
+// the Dropbox-bound records into arrival events against N simulated server
+// instances (control plane, storage nodes, notification servers), each
+// with a configurable service rate, concurrency limit and queue depth,
+// behind pluggable admission (queue / reject / shed) and routing
+// (round-robin / least-loaded / region-affine) policies.
+//
+// The simulation is a single global timestamp-ordered event queue with
+// deterministic tie-breaking: events at equal timestamps dequeue in push
+// order (a monotone sequence number breaks ties), so the same arrival set
+// and configuration replay the exact same event interleaving on every run,
+// on every host. Arrivals are canonically sorted before simulation, so the
+// backend's metrics depend only on the generated request multiset — never
+// on fleet worker count (determinism-contract point 14 in EXPERIMENTS.md).
+//
+// The backend observes, it never participates: client record generation is
+// finished before the first server event fires, and an infinite-capacity
+// backend (the "infinite" preset) reproduces every golden stream hash
+// bit-for-bit while reporting zero queueing delay and zero drops
+// (TestStreamGoldenWithBackend).
+package backend
+
+import (
+	"container/heap"
+	"time"
+)
+
+// EventKind labels what an event does when it fires.
+type EventKind uint8
+
+const (
+	// EvArrival is a request reaching the front door of the backend.
+	EvArrival EventKind = iota
+	// EvDeparture is a server finishing one request's service.
+	EvDeparture
+)
+
+// Event is one entry of the global simulation clock: something happens at
+// At. Req indexes the simulation's request slice; Node is the serving node
+// for departures (unused for arrivals, which are routed when they fire).
+type Event struct {
+	At   time.Duration
+	Kind EventKind
+	Req  int32
+	Node int32
+
+	// seq is the push order, assigned by EventQueue.Push. It breaks
+	// timestamp ties deterministically: of two events at the same At, the
+	// one pushed first fires first.
+	seq uint64
+}
+
+// EventQueue is a min-heap of events ordered by (At, push sequence). The
+// zero value is an empty queue ready to use.
+//
+// The ordering invariant — Pop yields events in nondecreasing At, with
+// equal timestamps in push (FIFO) order — is what makes the simulation
+// deterministic, and is pinned by the property tests and
+// FuzzEventQueueOrdering.
+type EventQueue struct {
+	h   eventHeap
+	seq uint64
+}
+
+// Push schedules one event. The event's seq field is overwritten with the
+// next push sequence number; callers never set it.
+func (q *EventQueue) Push(e Event) {
+	e.seq = q.seq
+	q.seq++
+	heap.Push(&q.h, e)
+}
+
+// Pop removes and returns the earliest event. ok is false on an empty
+// queue.
+func (q *EventQueue) Pop() (e Event, ok bool) {
+	if len(q.h) == 0 {
+		return Event{}, false
+	}
+	return heap.Pop(&q.h).(Event), true
+}
+
+// Len returns the number of pending events.
+func (q *EventQueue) Len() int { return len(q.h) }
+
+// NextAt returns the timestamp of the earliest pending event (ok false
+// when empty). The queue is unchanged.
+func (q *EventQueue) NextAt() (at time.Duration, ok bool) {
+	if len(q.h) == 0 {
+		return 0, false
+	}
+	return q.h[0].At, true
+}
+
+type eventHeap []Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(Event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}

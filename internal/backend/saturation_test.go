@@ -1,0 +1,177 @@
+package backend
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"insidedropbox/internal/fleet"
+	"insidedropbox/internal/workload"
+)
+
+// The shared test arrival set, collected once per test binary.
+var (
+	arrOnce sync.Once
+	arr     []Request
+	arrErr  error
+)
+
+// testArrivals collects the standard small test population's backend
+// arrivals once per test binary (the same Home1 2% population the golden
+// stream tests pin).
+func testArrivals(t *testing.T) []Request {
+	t.Helper()
+	arrOnce.Do(func() {
+		arr, _, arrErr = CollectArrivals(context.Background(), workload.Home1(0.02), 7, fleet.Config{Shards: 2})
+	})
+	if arrErr != nil {
+		t.Fatal(arrErr)
+	}
+	if len(arr) == 0 {
+		t.Fatal("test population produced no backend arrivals")
+	}
+	return arr
+}
+
+// TestSaturationRamp is the saturation analyzer: one fixed backend
+// configuration, offered load ramped across two decades, and three
+// assertions about the load response:
+//
+//  1. queueing delay is monotone in offered load (within a small
+//     tolerance at the near-zero low end),
+//  2. the knee appears past the provisioned service rate — below the
+//     configured capacity delays stay near zero, past it they blow up,
+//  3. drops are zero below capacity (and nonzero deep into overload,
+//     so the assertion is known to have teeth).
+func TestSaturationRamp(t *testing.T) {
+	base := testArrivals(t)
+
+	// A fixed deployment provisioned at 2x the base offered load with
+	// unbounded queues: every request eventually serves, so the delay
+	// curve alone carries the saturation signal.
+	cfg, err := PresetConfig(PresetProvisioned, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cfg.Nodes {
+		cfg.Nodes[i].QueueDepth = 0 // unbounded
+	}
+	// The knee is wherever the provisioning landed: at least the 2x
+	// headroom factor, higher when the one-slot-per-node floor dominates
+	// at this test scale. The ramp is phrased in fractions of it so the
+	// test is independent of population size.
+	knee, ok := SaturationPoint(cfg, base)
+	if !ok {
+		t.Fatal("config has no bounded class")
+	}
+	if knee < 1.9 {
+		t.Fatalf("provisioned knee = %.3f, want >= the 2x headroom factor", knee)
+	}
+	t.Logf("provisioned knee at %.2fx the base offered load", knee)
+
+	fracs := []float64{0.125, 0.25, 0.5, 2, 4, 8}
+	mean := make([]float64, len(fracs))
+	for i, f := range fracs {
+		rep, err := Simulate(context.Background(), cfg, ScaleLoad(base, f*knee))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Served != int64(rep.Requests) {
+			t.Fatalf("f=%v: served %d of %d with unbounded queues", f, rep.Served, rep.Requests)
+		}
+		mean[i] = rep.Delay.Mean() // ns
+		t.Logf("load %-5.3gx capacity: mean delay %v  p95 %v", f, time.Duration(mean[i]), rep.DelayQuantile(0.95))
+	}
+
+	// (1) Monotone in load: tolerate noise below one millisecond — the
+	// sub-capacity regime is near-zero and transient bursts dominate.
+	const slack = float64(time.Millisecond)
+	for i := 1; i < len(fracs); i++ {
+		if mean[i]+slack < mean[i-1] {
+			t.Errorf("delay not monotone: f=%v mean %v < f=%v mean %v",
+				fracs[i], time.Duration(mean[i]), fracs[i-1], time.Duration(mean[i-1]))
+		}
+	}
+
+	// (2) The knee is past the provisioned rate: below capacity the mean
+	// delay stays small; deep past it the delay is orders of magnitude
+	// larger.
+	maxBelow := mean[0]
+	for i, f := range fracs {
+		if f <= 0.5 && mean[i] > maxBelow {
+			maxBelow = mean[i]
+		}
+	}
+	if maxBelow > float64(5*time.Second) {
+		t.Errorf("mean delay below capacity = %v, want near zero", time.Duration(maxBelow))
+	}
+	deep := mean[len(mean)-1]
+	if deep < 10*maxBelow || deep < float64(time.Second) {
+		t.Errorf("no knee: mean delay at 8x capacity is %v vs %v below capacity",
+			time.Duration(deep), time.Duration(maxBelow))
+	}
+
+	// (3) Zero drops below capacity on a bounded-queue variant of the
+	// same deployment; deep overload must drop. The depth is modest (128)
+	// so overload reliably fills it even for the low-count bottleneck
+	// class at this test scale — the preset's production depths can hold
+	// this tiny population outright.
+	bounded, err := PresetConfig(PresetProvisioned, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range bounded.Nodes {
+		bounded.Nodes[i].QueueDepth = 128
+	}
+	for _, f := range []float64{0.125, 0.25, 0.5} {
+		rep, err := Simulate(context.Background(), bounded, ScaleLoad(base, f*knee))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Dropped != 0 || rep.Shed != 0 {
+			t.Errorf("f=%v (below capacity): dropped %d, shed %d, want 0", f, rep.Dropped, rep.Shed)
+		}
+	}
+	rep, err := Simulate(context.Background(), bounded, ScaleLoad(base, 8*knee))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Dropped == 0 {
+		t.Error("8x past capacity: no drops — the bounded queues never filled")
+	}
+}
+
+// TestSaturationScarcePreset pins the overload preset: past its own knee
+// a scarce deployment must shed or drop and run essentially saturated on
+// its bounded nodes. (At tiny test scales the one-slot-per-node floor can
+// lift the scarce knee above 1x, so the load is placed at twice the knee
+// rather than assuming 1x overloads it.)
+func TestSaturationScarcePreset(t *testing.T) {
+	base := testArrivals(t)
+	cfg, err := PresetConfig(PresetScarce, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	knee, ok := SaturationPoint(cfg, base)
+	if !ok {
+		t.Fatal("scarce preset has no bounded class")
+	}
+	rep, err := Simulate(context.Background(), cfg, ScaleLoad(base, 2*knee))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Dropped+rep.Shed == 0 {
+		t.Fatal("scarce preset at 2x its knee dropped nothing")
+	}
+	// At least one bounded node runs hot (>50% utilized).
+	hot := 0.0
+	for _, n := range rep.Nodes {
+		if n.Utilization > hot {
+			hot = n.Utilization
+		}
+	}
+	if hot < 0.5 {
+		t.Fatalf("hottest node utilization = %.3f, want > 0.5 under 2x overload", hot)
+	}
+}

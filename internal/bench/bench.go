@@ -13,7 +13,8 @@
 //
 // Scenarios deliberately span the whole record pipeline: raw single-shard
 // generation, the 8-shard fleet aggregation path, the what-if engine, both
-// trace serializations, and the end-to-end sharded export. See
+// trace serializations, the end-to-end sharded export, and the
+// discrete-event backend simulation (events/sec through its load knee). See
 // PERFORMANCE.md for the catalogue, the JSON schema, and the workflow for
 // recording and comparing runs across PRs.
 package bench
@@ -33,6 +34,7 @@ import (
 	"strings"
 	"time"
 
+	"insidedropbox/internal/backend"
 	"insidedropbox/internal/capability"
 	"insidedropbox/internal/experiments"
 	"insidedropbox/internal/fleet"
@@ -124,6 +126,7 @@ func catalogue() []scenario {
 		{name: "serialize/flate", setup: warmSerializeDataset, run: runSerializeFlate},
 		{name: "export/home1-8shard-binary", run: runExportBinary},
 		{name: "export/home1-8shard-binary-parallel", run: runExportBinaryParallel},
+		{name: "backend/saturation", setup: warmBackendArrivals, run: runBackendSaturation},
 	}
 }
 
@@ -496,6 +499,64 @@ func runExportBinaryParallel(ctx context.Context, quick bool) (int64, int64) {
 		}
 	}
 	return n, cw.n
+}
+
+// arrivalsCache memoizes the backend arrival set per scale, so the fleet
+// collection happens once — in the setup phase, outside the measured
+// region (the event loop, not arrival derivation, is what this scenario
+// tracks).
+var arrivalsCache = map[bool][]backend.Request{}
+
+// backendArrivals returns the pinned backend arrival set of the
+// backend/saturation scenario.
+func backendArrivals(quick bool) []backend.Request {
+	reqs := arrivalsCache[quick]
+	if reqs == nil {
+		scale, _ := scalesFor(quick)
+		var err error
+		reqs, _, err = backend.CollectArrivals(context.Background(),
+			workload.Home1(scale), benchSeed, fleet.Config{Shards: 8})
+		if err != nil {
+			panic(err)
+		}
+		arrivalsCache[quick] = reqs
+	}
+	return reqs
+}
+
+// warmBackendArrivals is the backend scenario's setup hook.
+func warmBackendArrivals(quick bool) { backendArrivals(quick) }
+
+// runBackendSaturation measures the discrete-event backend simulation:
+// the provisioned deployment replayed below and above its saturation
+// knee (the two regimes exercise short-queue and deep-queue event-loop
+// behavior). Records here are processed simulation events, so
+// records_per_sec is the event-loop throughput in events/sec.
+func runBackendSaturation(ctx context.Context, quick bool) (int64, int64) {
+	reqs := backendArrivals(quick)
+	cfg, err := backend.PresetConfig(backend.PresetProvisioned, reqs)
+	if err != nil {
+		panic(err)
+	}
+	knee, ok := backend.SaturationPoint(cfg, reqs)
+	if !ok {
+		panic("bench: provisioned preset has no bounded class")
+	}
+	reps := 4
+	if quick {
+		reps = 2
+	}
+	var events int64
+	for i := 0; i < reps; i++ {
+		for _, f := range []float64{0.5, 2} {
+			rep, err := backend.Simulate(ctx, cfg, backend.ScaleLoad(reqs, f*knee))
+			if err != nil {
+				return events, 0
+			}
+			events += rep.Events
+		}
+	}
+	return events, 0
 }
 
 // ---------- persistence, discovery, comparison ----------

@@ -42,6 +42,7 @@ type SpecFlags struct {
 	fleetScale *float64
 	whatif     *bool
 	profiles   *string
+	backend    *string
 	out        *string
 }
 
@@ -59,6 +60,8 @@ func BindSpec(fs *flag.FlagSet) *SpecFlags {
 		whatif:     fs.Bool("whatif", false, "run the capability what-if lab (Campus 1 under -profiles)"),
 		profiles: fs.String("profiles", strings.Join(insidedropbox.CapabilityNames(), ","),
 			"comma-separated capability profiles for the what-if lab (first = baseline; setting this opts the lab in)"),
+		backend: fs.String("backend", "", "run the backend capacity lab under this preset ("+
+			strings.Join(insidedropbox.BackendPresets(), "|")+"; setting this opts the lab in)"),
 		out: fs.String("out", "results", "output directory for rendered results"),
 	}
 }
@@ -72,6 +75,7 @@ func (f *SpecFlags) Spec() (insidedropbox.Spec, error) {
 		SkipPacket: *f.skipPacket,
 		Fleet:      insidedropbox.FleetConfig{Shards: *f.shards, Workers: *f.workers},
 		FleetScale: *f.fleetScale,
+		Backend:    *f.backend,
 		ResultsDir: *f.out,
 	}
 	if *f.only != "" {
@@ -84,6 +88,9 @@ func (f *SpecFlags) Spec() (insidedropbox.Spec, error) {
 		}
 		if *f.fleetScale > 0 {
 			spec.Experiments = append(spec.Experiments, "fleet")
+		}
+		if *f.backend != "" {
+			spec.Experiments = append(spec.Experiments, "backend/*")
 		}
 	}
 	// Profiles apply when the what-if lab was asked for (-whatif) or when

@@ -1,0 +1,218 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"insidedropbox/internal/analysis"
+	"insidedropbox/internal/backend"
+	"insidedropbox/internal/telemetry"
+	"insidedropbox/internal/workload"
+)
+
+// Backend arrival-set memoization telemetry, mirroring the campaign and
+// packet-lab counters: builds=1 per Session however many backend
+// experiments run.
+var (
+	mArrivalHits   = telemetry.NewCounter("session.arrival_hits")
+	mArrivalBuilds = telemetry.NewCounter("session.arrival_builds")
+)
+
+// home1Scale is the Home 1 population fraction the backend lab feeds on
+// (the household vantage point carries the full service mix: storage,
+// control and notification traffic).
+func (s *Session) home1Scale() float64 {
+	if s.Scale.Home1 > 0 {
+		return s.Scale.Home1
+	}
+	return 1.0
+}
+
+// backendPreset resolves the Session's backend capacity preset (empty
+// means the healthy provisioned deployment).
+func (s *Session) backendPreset() string {
+	if s.Backend != "" {
+		return s.Backend
+	}
+	return backend.PresetProvisioned
+}
+
+// Arrivals returns the session's backend arrival set — the Home 1
+// population streamed through the sharded fleet engine and reduced to
+// server-side requests in canonical order — collecting it on first use so
+// any selection of backend experiments pays for one collection. The seed
+// derives as Seed+3, exactly the campaign's Home 1 offset, so the
+// arrivals correspond to the campaign dataset the other experiments see.
+// Failed collections are not memoized.
+func (s *Session) Arrivals(ctx context.Context) ([]backend.Request, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.beReqs != nil {
+		mArrivalHits.Inc()
+		return s.beReqs, nil
+	}
+	mArrivalBuilds.Inc()
+	reqs, _, err := backend.CollectArrivals(ctx, workload.Home1(s.home1Scale()), s.Seed+3, s.Fleet)
+	if err != nil {
+		return nil, err
+	}
+	s.beReqs = reqs
+	return reqs, nil
+}
+
+// registerBackend appends the opt-in backend capacity lab to the
+// catalogue; the registry init calls it last so the backend family lands
+// after the fleet and what-if labs in presentation order.
+func registerBackend() {
+	register(Experiment{
+		ID: "backend/baseline", Title: "Backend: server-side load response under a capacity preset",
+		Needs: Needs{OptIn: true},
+		Run:   runBackendBaseline,
+	})
+	register(Experiment{
+		ID: "backend/saturation", Title: "Backend: saturation ramp across the provisioned knee",
+		Needs: Needs{OptIn: true},
+		Run:   runBackendSaturation,
+	})
+	register(Experiment{
+		ID: "backend/policies", Title: "Backend: admission and routing policies under overload",
+		Needs: Needs{OptIn: true},
+		Run:   runBackendPolicies,
+	})
+}
+
+// runBackendBaseline replays the session's arrival set against its
+// configured preset and reports the full load response: per-node
+// utilization and queue depths, drop counts and the queueing-delay
+// distribution.
+func runBackendBaseline(ctx context.Context, s *Session) (*Result, error) {
+	reqs, err := s.Arrivals(ctx)
+	if err != nil {
+		return nil, err
+	}
+	preset := s.backendPreset()
+	cfg, err := backend.PresetConfig(preset, reqs)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := backend.Simulate(ctx, cfg, reqs)
+	if err != nil {
+		return nil, err
+	}
+
+	res := newResult("backend/baseline",
+		fmt.Sprintf("Backend baseline: %d requests under the %q preset", rep.Requests, preset))
+	tb := analysis.NewTable("Per-node load response",
+		"node", "served", "dropped", "shed", "util", "queue max", "p95 delay")
+	for _, n := range rep.Nodes {
+		util := "-"
+		if n.Concurrency > 0 {
+			util = fmt.Sprintf("%.1f%%", 100*n.Utilization)
+		}
+		tb.AddRow(n.Name, n.Served, n.Dropped, n.Shed, util, n.QueueMax,
+			time.Duration(n.Delay.Quantile(0.95)).Round(time.Microsecond).String())
+	}
+	res.addText(tb.String())
+	res.addText(fmt.Sprintf(
+		"\n%d served / %d dropped / %d shed of %d requests (%s / %s admission-routing)\n"+
+			"queueing delay mean %v, p95 %v, p99 %v over a %v horizon\n",
+		rep.Served, rep.Dropped, rep.Shed, rep.Requests, rep.Admission, rep.Routing,
+		rep.MeanDelay().Round(time.Microsecond),
+		rep.DelayQuantile(0.95).Round(time.Microsecond),
+		rep.DelayQuantile(0.99).Round(time.Microsecond),
+		rep.Horizon.Round(time.Second)))
+	for k, v := range rep.Metrics() {
+		res.Metrics[k] = v
+	}
+	return res, nil
+}
+
+// runBackendSaturation is the saturation analyzer as an experiment: the
+// provisioned deployment held fixed while offered load ramps through its
+// knee, reporting the delay and drop response at each point.
+func runBackendSaturation(ctx context.Context, s *Session) (*Result, error) {
+	reqs, err := s.Arrivals(ctx)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := backend.PresetConfig(backend.PresetProvisioned, reqs)
+	if err != nil {
+		return nil, err
+	}
+	knee, ok := backend.SaturationPoint(cfg, reqs)
+	if !ok {
+		return nil, fmt.Errorf("backend/saturation: provisioned preset has no bounded class")
+	}
+
+	res := newResult("backend/saturation",
+		fmt.Sprintf("Backend saturation ramp (knee at %.2fx the base offered load)", knee))
+	res.Metrics["knee_multiplier"] = knee
+	tb := analysis.NewTable("Offered load vs. delay and drops",
+		"load/capacity", "served", "dropped+shed", "mean delay", "p95", "p99")
+	for _, f := range []float64{0.25, 0.5, 1, 2, 4} {
+		rep, err := backend.Simulate(ctx, cfg, backend.ScaleLoad(reqs, f*knee))
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(fmt.Sprintf("%.2fx", f), rep.Served, rep.Dropped+rep.Shed,
+			rep.MeanDelay().Round(time.Microsecond).String(),
+			rep.DelayQuantile(0.95).Round(time.Microsecond).String(),
+			rep.DelayQuantile(0.99).Round(time.Microsecond).String())
+		suffix := fmt.Sprintf("_x%g", f)
+		res.Metrics["delay_mean_ms"+suffix] = rep.Delay.Mean() / 1e6
+		res.Metrics["delay_p95_ms"+suffix] = rep.Delay.Quantile(0.95) / 1e6
+		res.Metrics["drop_rate"+suffix] = rep.DropRate()
+	}
+	res.addText(tb.String())
+	res.addText("\nload/capacity is the offered load relative to the deployment's aggregate\n" +
+		"service capacity: below 1x delays stay near zero, past it queues grow without\n" +
+		"bound and the bounded queues start dropping.\n")
+	return res, nil
+}
+
+// runBackendPolicies compares every admission x routing policy pair on the
+// same under-provisioned deployment at twice its knee — the regime where
+// overload policy actually matters.
+func runBackendPolicies(ctx context.Context, s *Session) (*Result, error) {
+	reqs, err := s.Arrivals(ctx)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := backend.PresetConfig(backend.PresetScarce, reqs)
+	if err != nil {
+		return nil, err
+	}
+	knee, ok := backend.SaturationPoint(cfg, reqs)
+	if !ok {
+		return nil, fmt.Errorf("backend/policies: scarce preset has no bounded class")
+	}
+	load := backend.ScaleLoad(reqs, 2*knee)
+
+	res := newResult("backend/policies",
+		fmt.Sprintf("Backend policies at 2x the scarce knee (%d requests)", len(load)))
+	tb := analysis.NewTable("Admission x routing under overload",
+		"admission", "routing", "served", "dropped", "shed", "mean delay", "p95")
+	for _, adm := range []backend.AdmissionPolicy{backend.AdmitQueue, backend.AdmitReject, backend.AdmitShed} {
+		for _, rt := range []backend.RoutingPolicy{backend.RouteRoundRobin, backend.RouteLeastLoaded, backend.RouteRegionAffine} {
+			c := cfg
+			c.Admission, c.Routing = adm, rt
+			rep, err := backend.Simulate(ctx, c, load)
+			if err != nil {
+				return nil, err
+			}
+			tb.AddRow(string(adm), string(rt), rep.Served, rep.Dropped, rep.Shed,
+				rep.MeanDelay().Round(time.Microsecond).String(),
+				rep.DelayQuantile(0.95).Round(time.Microsecond).String())
+			key := string(adm) + "_" + string(rt)
+			res.Metrics["served_"+key] = float64(rep.Served)
+			res.Metrics["drop_rate_"+key] = rep.DropRate()
+			res.Metrics["delay_p95_ms_"+key] = rep.Delay.Quantile(0.95) / 1e6
+		}
+	}
+	res.addText(tb.String())
+	res.addText("\nqueue admission maximizes served requests at the cost of stale waiting;\n" +
+		"reject bounds delay by refusing on arrival; shed drops the oldest waiter\n" +
+		"for the newest — the freshness-first overload shape.\n")
+	return res, nil
+}

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"insidedropbox/internal/backend"
 	"insidedropbox/internal/capability"
 	"insidedropbox/internal/fleet"
 	"insidedropbox/internal/traces"
@@ -145,6 +146,9 @@ type Session struct {
 	// Profiles are the capability profiles of the opt-in "whatif" lab
 	// (nil means the full preset catalogue).
 	Profiles []capability.Profile
+	// Backend is the capacity preset of the opt-in "backend/*" lab
+	// (empty means the provisioned deployment; see backend.Presets).
+	Backend string
 
 	mu        sync.Mutex
 	camp      *Campaign
@@ -153,6 +157,7 @@ type Session struct {
 	packCfg   PacketLabConfig
 	packDone  bool
 	tb        *TestbedResult
+	beReqs    []backend.Request
 }
 
 // Campaign returns the session's materialized four-vantage-point campaign,
@@ -354,4 +359,6 @@ func init() {
 			return rep.Result(), nil
 		},
 	})
+
+	registerBackend()
 }

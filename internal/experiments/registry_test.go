@@ -19,6 +19,7 @@ func TestRegistryCatalogueComplete(t *testing.T) {
 		"figure13", "figure14", "figure15", "figure16", "figure17",
 		"figure18", "figure19", "figure20", "figure21",
 		"fleet", "whatif",
+		"backend/baseline", "backend/saturation", "backend/policies",
 	}
 	cat := Experiments()
 	seen := map[string]bool{}
@@ -62,9 +63,9 @@ func TestSelectDefaultsAndGlobs(t *testing.T) {
 			t.Errorf("default selection includes opt-in %q", e.ID)
 		}
 	}
-	if len(def) != len(Experiments())-2 {
-		t.Errorf("default selection has %d entries, want all but fleet+whatif (%d)",
-			len(def), len(Experiments())-2)
+	if len(def) != len(Experiments())-5 {
+		t.Errorf("default selection has %d entries, want all but fleet+whatif+backend/* (%d)",
+			len(def), len(Experiments())-5)
 	}
 
 	// Globs match in catalogue order, opt-ins included when named.

@@ -60,6 +60,12 @@ type Spec struct {
 	// it into the default selection when > 0.
 	FleetScale float64
 
+	// Backend names the capacity preset of the "backend/*" server
+	// simulation lab (see BackendPresets) and opts the lab into the
+	// default selection when set. Empty leaves the lab opt-in; selected
+	// explicitly, it runs under the provisioned preset.
+	Backend string
+
 	// ResultsDir, when non-empty, receives the rendered results via
 	// WriteResults after the run completes, plus a schema-versioned
 	// manifest.json (telemetry.Manifest): the run's provenance record —
@@ -147,6 +153,10 @@ func WithProfiles(profiles ...CapabilityProfile) Option {
 // and opts it into the default selection.
 func WithFleetScale(scale float64) Option { return func(s *Spec) { s.FleetScale = scale } }
 
+// WithBackend configures the backend capacity lab's preset and opts the
+// backend/* experiments into the default selection.
+func WithBackend(preset string) Option { return func(s *Spec) { s.Backend = preset } }
+
 // WithQuick selects small populations and quick packet labs.
 func WithQuick() Option { return func(s *Spec) { s.Quick = true } }
 
@@ -191,6 +201,9 @@ func (s Spec) resolve() (Spec, []Experiment, error) {
 		}
 		if s.FleetScale > 0 {
 			patterns = append(patterns, "fleet")
+		}
+		if s.Backend != "" {
+			patterns = append(patterns, "backend/*")
 		}
 		def, err := experiments.Select()
 		if err != nil {
@@ -256,6 +269,7 @@ func Run(ctx context.Context, spec Spec, opts ...Option) ([]*Result, error) {
 		Quick:      spec.Quick,
 		FleetScale: spec.FleetScale,
 		Profiles:   spec.Profiles,
+		Backend:    spec.Backend,
 	}
 	results := make([]*Result, 0, len(sel))
 	var expTimings []telemetry.ExperimentTiming
@@ -436,6 +450,9 @@ func specProvenance(spec Spec, sel []Experiment) map[string]string {
 	}
 	if len(spec.Profiles) > 0 {
 		m["profiles"] = strconv.Itoa(len(spec.Profiles))
+	}
+	if spec.Backend != "" {
+		m["backend"] = spec.Backend
 	}
 	return m
 }
