@@ -14,9 +14,18 @@
 //	        [-shards N] [-workers N] [-devices-scale F]
 //	        [-profile NAME] [-format csv|binary|binary-flate]
 //	        [-serialize-workers N] [-summary] [-o FILE]
-//	        [-backend infinite|provisioned|scarce]
+//	        [-backend infinite|provisioned|scarce] [-scenario FILE]
 //	        [-manifest FILE] [-pprof ADDR] [-cpuprofile FILE]
 //	        [-memprofile FILE] [-telemetry-interval DUR]
+//
+// -scenario compiles a declarative scenario spec (see scenarios/) and
+// takes its population from there: the spec's base section overrides
+// -vp, -scale, -shards, -devices-scale and -profile (a base.seed
+// overrides -seed), and its cohorts section splits the population into
+// behavioral cohorts. A spec backend section drives the post-export
+// replay — preset sizing from the base load, arrival surges, and
+// timeline events (outages, rollouts) on the event queue; -backend, when
+// also set, overrides just the preset.
 //
 // -serialize-workers spreads binary/binary-flate block encoding over a
 // worker pool (0 = GOMAXPROCS). Serialization parallelism never changes
@@ -70,6 +79,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"insidedropbox"
 	"insidedropbox/internal/analysis"
@@ -91,6 +101,7 @@ func main() {
 	serWorkers := flag.Int("serialize-workers", 0, "block-encoding workers for binary formats (0 = GOMAXPROCS; never changes output bytes)")
 	backendPreset := flag.String("backend", "", "after the export, replay the stream against the server "+
 		"capacity model under this preset: "+strings.Join(insidedropbox.BackendPresets(), "|"))
+	scenarioPath := flag.String("scenario", "", "declarative scenario spec file; its base section overrides -vp/-scale/-seed/-shards/-devices-scale/-profile")
 	summary := flag.Bool("summary", false, "print streaming aggregates instead of trace records")
 	out := flag.String("o", "", "output file (default stdout)")
 	manifest := flag.String("manifest", "", "write a run manifest (stream hash, shard timings, telemetry snapshot) to this file")
@@ -132,6 +143,30 @@ func main() {
 		cfg.Caps = &p
 	}
 	fc := insidedropbox.FleetConfig{Shards: *shards, Workers: *workers, DevicesScale: *devScale}
+	runSeed := *seed
+
+	// A scenario spec replaces the flag-assembled population wholesale:
+	// compilation is a pure function of (spec, seed), so the exported
+	// stream is reproducible from the committed file plus the seed alone.
+	var comp *insidedropbox.CompiledScenario
+	if *scenarioPath != "" {
+		sp, err := insidedropbox.LoadScenario(*scenarioPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		comp, err = insidedropbox.CompileScenario(sp, runSeed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		cfg = comp.VP
+		runSeed = comp.Seed
+		fc.Shards = comp.Fleet.Shards
+		if comp.Fleet.DevicesScale > 0 {
+			fc.DevicesScale = comp.Fleet.DevicesScale
+		}
+	}
 
 	stopProf, err := prof.Start()
 	if err != nil {
@@ -157,16 +192,20 @@ func main() {
 	// exported stream.
 	var rec *manifestRecorder
 	if *manifest != "" {
-		rec = newManifestRecorder(*seed, map[string]string{
-			"vp":            *vp,
+		spec := map[string]string{
+			"vp":            cfg.Name,
 			"scale":         strconv.FormatFloat(*scale, 'g', -1, 64),
-			"shards":        strconv.Itoa(*shards),
+			"shards":        strconv.Itoa(fc.Shards),
 			"workers":       strconv.Itoa(*workers),
-			"devices_scale": strconv.FormatFloat(*devScale, 'g', -1, 64),
+			"devices_scale": strconv.FormatFloat(fc.DevicesScale, 'g', -1, 64),
 			"format":        *format,
 			"profile":       *profile,
 			"backend":       *backendPreset,
-		})
+		}
+		if comp != nil {
+			spec["scenario"] = comp.Spec.Name
+		}
+		rec = newManifestRecorder(runSeed, spec)
 		w = io.MultiWriter(w, rec.hash)
 		fc.Observer = rec.observe
 	}
@@ -175,7 +214,7 @@ func main() {
 	defer stop()
 
 	if *summary {
-		printSummary(ctx, cfg, *seed, fc, w)
+		printSummary(ctx, cfg, runSeed, fc, w)
 		return
 	}
 
@@ -184,17 +223,17 @@ func main() {
 	// exported bytes (the manifest stream hash stays preset-independent).
 	var col *backend.Collector
 	var tee func(*insidedropbox.FlowRecord)
-	if *backendPreset != "" {
+	if *backendPreset != "" || (comp != nil && comp.Backend != nil) {
 		col = &backend.Collector{}
 		tee = col.Consume
 	}
 
-	stats, volume, err := streamTraces(ctx, cfg, *seed, fc, w, *format, *serWorkers, tee)
+	stats, volume, err := streamTraces(ctx, cfg, runSeed, fc, w, *format, *serWorkers, tee)
 	if err != nil {
 		cli.Exit(ctx, "writing traces", err)
 	}
 	if col != nil {
-		if err := simulateBackend(ctx, *backendPreset, col.Requests); err != nil {
+		if err := simulateBackend(ctx, *backendPreset, comp, col.Requests); err != nil {
 			cli.Exit(ctx, "backend simulation", err)
 		}
 	}
@@ -319,16 +358,33 @@ func streamTraces(ctx context.Context, cfg insidedropbox.VPConfig, seed int64,
 	return stats, volume, err
 }
 
-// simulateBackend replays the collected arrivals against the named
-// capacity preset and prints the load response to stderr: overall counts
-// and delay quantiles, then per-node utilization.
-func simulateBackend(ctx context.Context, preset string, reqs []backend.Request) error {
+// simulateBackend replays the collected arrivals and prints the load
+// response to stderr: overall counts and delay quantiles, then per-node
+// utilization. A compiled scenario contributes its backend section —
+// preset, timeline events, surges and report windows — with an explicit
+// -backend preset overriding just the sizing.
+func simulateBackend(ctx context.Context, preset string, comp *insidedropbox.CompiledScenario, reqs []backend.Request) error {
 	backend.SortRequests(reqs)
+	load := reqs
+	var timeline []backend.TimelineEvent
+	var windows []backend.Window
+	if comp != nil && comp.Backend != nil {
+		if preset == "" {
+			preset = comp.Backend.Preset
+		}
+		timeline = comp.Backend.Timeline
+		windows = comp.Backend.Windows
+		// Capacity is provisioned against the base load below; surges
+		// amplify what the deployment actually faces.
+		load = comp.Backend.ApplySurges(reqs)
+	}
 	cfg, err := backend.PresetConfig(preset, reqs)
 	if err != nil {
 		return err
 	}
-	rep, err := backend.Simulate(ctx, cfg, reqs)
+	cfg.Timeline = timeline
+	cfg.Windows = windows
+	rep, err := backend.Simulate(ctx, cfg, load)
 	if err != nil {
 		return err
 	}
@@ -336,6 +392,10 @@ func simulateBackend(ctx context.Context, preset string, reqs []backend.Request)
 		"queueing delay mean %v p95 %v p99 %v\n",
 		preset, rep.Served, rep.Dropped, rep.Shed, rep.Requests,
 		rep.MeanDelay(), rep.DelayQuantile(0.95), rep.DelayQuantile(0.99))
+	for _, wr := range rep.Windows {
+		fmt.Fprintf(os.Stderr, "  window %-12s served %-8d dropped %-6d p95 delay %v\n",
+			wr.Name, wr.Served, wr.Dropped, time.Duration(wr.Delay.Quantile(0.95)))
+	}
 	for _, n := range rep.Nodes {
 		util := "unbounded"
 		if n.Concurrency > 0 {

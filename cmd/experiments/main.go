@@ -9,6 +9,7 @@
 //	            [-pprof ADDR] [-cpuprofile FILE] [-memprofile FILE]
 //	            [-telemetry-interval DUR]
 //	            [-validate-manifest FILE] [-print-stream-hash FILE]
+//	            [-scenario FILE] [-validate-scenario FILE]
 //
 // Every run with -out writes a machine-readable manifest.json next to
 // the rendered results (seed, spec, environment, per-experiment and
@@ -22,7 +23,11 @@
 // the population sample but not its size); -fleet-scale > 0 adds the
 // streaming fleet lab at that population multiplier; -whatif adds the
 // capability what-if lab (Campus 1 under -profiles, compared against the
-// first profile). ^C cancels cleanly at fleet-shard granularity.
+// first profile); -scenario FILE adds the scenario/* experiments under a
+// declarative spec (cohort mixes, backend timelines — see scenarios/).
+// -validate-scenario strictly validates a spec file and exits, the CI
+// gate for the committed catalogue. ^C cancels cleanly at fleet-shard
+// granularity.
 package main
 
 import (
@@ -41,7 +46,18 @@ func main() {
 	list := flag.Bool("list", false, "print the experiment catalogue and exit")
 	validateManifest := flag.String("validate-manifest", "", "validate a manifest.json against the current schema and exit")
 	printStreamHash := flag.String("print-stream-hash", "", "print the stream hash recorded in a manifest.json and exit")
+	validateScenario := flag.String("validate-scenario", "", "strictly validate a scenario spec file and exit")
 	flag.Parse()
+
+	if *validateScenario != "" {
+		sp, err := insidedropbox.LoadScenario(*validateScenario)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: %s\n", *validateScenario, sp.Summary())
+		return
+	}
 
 	if *validateManifest != "" {
 		m, err := insidedropbox.LoadRunManifest(*validateManifest)

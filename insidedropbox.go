@@ -67,6 +67,7 @@ import (
 	"insidedropbox/internal/capability"
 	"insidedropbox/internal/experiments"
 	"insidedropbox/internal/fleet"
+	"insidedropbox/internal/scenario"
 	"insidedropbox/internal/traces"
 	"insidedropbox/internal/workload"
 )
@@ -312,6 +313,47 @@ func CollectBackendArrivals(ctx context.Context, cfg VPConfig, seed int64, fc Fl
 func SimulateBackend(ctx context.Context, cfg BackendConfig, reqs []BackendRequest) (*BackendReport, error) {
 	return backend.Simulate(ctx, cfg, reqs)
 }
+
+// ---------- declarative scenarios ----------
+
+// ScenarioSpec is a schema-versioned declarative scenario: a population
+// as a weighted mix of behavioral cohorts plus a time-varying backend
+// timeline, compiled onto the engine configuration. The empty/default
+// spec compiles to the legacy flag-driven configuration bit for bit.
+type ScenarioSpec = scenario.Spec
+
+// CompiledScenario is a scenario lowered onto VPConfig, fleet sizing and
+// the backend capacity model — a pure function of (spec, seed).
+type CompiledScenario = scenario.Compiled
+
+// ScenarioStream is one compiled scenario's campaign output: merged
+// ground truth (per-cohort counts included), the backend arrival set in
+// canonical order, and the worker-invariant stream fingerprint.
+type ScenarioStream = scenario.StreamResult
+
+// LoadScenario reads and strictly validates a scenario spec file
+// (unknown fields, bad weights and foreign schema versions are errors).
+func LoadScenario(path string) (*ScenarioSpec, error) { return scenario.Load(path) }
+
+// ParseScenario decodes and validates one scenario spec document.
+func ParseScenario(data []byte) (*ScenarioSpec, error) { return scenario.Parse(data) }
+
+// CompileScenario lowers a spec onto the engine configuration; a non-zero
+// base.seed in the spec overrides seed.
+func CompileScenario(sp *ScenarioSpec, seed int64) (*CompiledScenario, error) {
+	return scenario.Compile(sp, seed)
+}
+
+// CollectScenarioStream runs a compiled scenario's population through the
+// fleet engine once, producing stats, arrivals and the stream fingerprint
+// in one pass. workers > 0 overrides the worker count (never results).
+func CollectScenarioStream(ctx context.Context, c *CompiledScenario, workers int) (*ScenarioStream, error) {
+	return scenario.CollectStream(ctx, c, workers)
+}
+
+// ScenarioCohortPresets lists the built-in cohort preset names a spec's
+// cohorts may reference.
+func ScenarioCohortPresets() []string { return scenario.Presets() }
 
 // ---------- exports ----------
 

@@ -48,6 +48,15 @@ type Config struct {
 	Nodes     []NodeConfig
 	Admission AdmissionPolicy
 	Routing   RoutingPolicy
+
+	// Timeline schedules deployment changes mid-run (region outages,
+	// capacity rollouts). Empty reproduces the static deployment bit for
+	// bit — timeline events only enter the event queue when present.
+	Timeline []TimelineEvent
+
+	// Windows names report intervals for per-window delay/drop
+	// attribution (Report.Windows). Empty leaves the report unchanged.
+	Windows []Window
 }
 
 func (c Config) validate() error {
@@ -56,6 +65,16 @@ func (c Config) validate() error {
 	}
 	if err := c.Admission.validate(); err != nil {
 		return err
+	}
+	for _, te := range c.Timeline {
+		if err := te.validate(); err != nil {
+			return err
+		}
+	}
+	for _, w := range c.Windows {
+		if err := w.validate(); err != nil {
+			return err
+		}
 	}
 	return c.Routing.validate()
 }
@@ -70,6 +89,12 @@ type queued struct {
 // nodeState is one node's live simulation state.
 type nodeState struct {
 	cfg NodeConfig
+
+	// origConc is the configured concurrency before any timeline
+	// capacity-scale (the factor's fixed basis); offline freezes the node
+	// during a region outage.
+	origConc int
+	offline  bool
 
 	inService int
 	queue     []queued
@@ -90,7 +115,7 @@ func (n *nodeState) qlen() int { return len(n.queue) - n.qhead }
 func (n *nodeState) load() int { return n.inService + n.qlen() }
 
 func (n *nodeState) canStart() bool {
-	return n.cfg.Concurrency <= 0 || n.inService < n.cfg.Concurrency
+	return !n.offline && (n.cfg.Concurrency <= 0 || n.inService < n.cfg.Concurrency)
 }
 
 // tick advances the busy-time integral to now.
@@ -148,18 +173,54 @@ func Simulate(ctx context.Context, cfg Config, reqs []Request) (*Report, error) 
 	nodes := make([]nodeState, len(cfg.Nodes))
 	for i, nc := range cfg.Nodes {
 		nodes[i].cfg = nc
+		nodes[i].origConc = nc.Concurrency
 	}
-	load := func(i int32) int { return nodes[i].load() }
+	load := func(i int32) int {
+		if nodes[i].offline {
+			return offlineLoad
+		}
+		return nodes[i].load()
+	}
 
 	var q EventQueue
 	for i, r := range reqs {
 		q.Push(Event{At: r.Arrive, Kind: EvArrival, Req: int32(i)})
+	}
+	// Timeline events are pushed after the arrivals, so at equal
+	// timestamps the arrival fires first — a fixed, documented order.
+	for i, te := range cfg.Timeline {
+		q.Push(Event{At: te.At, Kind: EvTimeline, Req: int32(i)})
 	}
 
 	rep := &Report{
 		Admission: cfg.Admission,
 		Routing:   cfg.Routing,
 		Requests:  len(reqs),
+	}
+	if len(cfg.Windows) > 0 {
+		rep.Windows = make([]WindowReport, len(cfg.Windows))
+		for i, w := range cfg.Windows {
+			rep.Windows[i].Window = w
+		}
+	}
+	// winServe / winDrop attribute a request's outcome to every window
+	// containing its arrival time (no-ops without windows).
+	winServe := func(arrive, d time.Duration) {
+		for i := range rep.Windows {
+			w := &rep.Windows[i]
+			if arrive >= w.Start && arrive < w.End {
+				w.Served++
+				w.Delay.Observe(float64(d))
+			}
+		}
+	}
+	winDrop := func(arrive time.Duration) {
+		for i := range rep.Windows {
+			w := &rep.Windows[i]
+			if arrive >= w.Start && arrive < w.End {
+				w.Dropped++
+			}
+		}
 	}
 	var now time.Duration
 
@@ -172,6 +233,7 @@ func Simulate(ctx context.Context, cfg Config, reqs []Request) (*Report, error) 
 		n.delay.Observe(float64(d))
 		rep.Delay.Observe(float64(d))
 		rep.DelayByClass[reqs[req].Class].Observe(float64(d))
+		winServe(reqs[req].Arrive, d)
 		mQueueDelay.Observe(d)
 		var svc time.Duration
 		if n.cfg.ServiceRate > 0 {
@@ -199,6 +261,7 @@ func Simulate(ctx context.Context, cfg Config, reqs []Request) (*Report, error) 
 			if !routed {
 				rep.Unroutable++
 				rep.Dropped++
+				winDrop(rq.Arrive)
 				continue
 			}
 			n := &nodes[ni]
@@ -210,18 +273,21 @@ func Simulate(ctx context.Context, cfg Config, reqs []Request) (*Report, error) 
 			case AdmitReject:
 				n.dropped++
 				rep.Dropped++
+				winDrop(rq.Arrive)
 			case AdmitQueue:
 				if n.cfg.QueueDepth > 0 && n.qlen() >= n.cfg.QueueDepth {
 					n.dropped++
 					rep.Dropped++
+					winDrop(rq.Arrive)
 					continue
 				}
 				n.enqueue(queued{req: ev.Req, at: now})
 			case AdmitShed:
 				if n.cfg.QueueDepth > 0 && n.qlen() >= n.cfg.QueueDepth {
-					n.dequeue() // oldest waiter is shed for the newcomer
+					w := n.dequeue() // oldest waiter is shed for the newcomer
 					n.shed++
 					rep.Shed++
+					winDrop(reqs[w.req].Arrive)
 				}
 				n.enqueue(queued{req: ev.Req, at: now})
 			}
@@ -235,6 +301,8 @@ func Simulate(ctx context.Context, cfg Config, reqs []Request) (*Report, error) 
 				w := n.dequeue()
 				start(n, ev.Node, w.req, w.at)
 			}
+		case EvTimeline:
+			applyTimeline(cfg.Timeline[ev.Req], nodes, start)
 		}
 	}
 	finalize(rep, nodes, now)
@@ -311,6 +379,10 @@ type Report struct {
 	DelayByClass [numClasses]fleet.LogHist
 
 	Nodes []NodeReport
+
+	// Windows attributes outcomes to the configured report intervals
+	// (Config.Windows), by request arrival time; nil without windows.
+	Windows []WindowReport
 }
 
 // MeanDelay returns the average queueing delay of served requests.
@@ -354,6 +426,12 @@ func (r *Report) Metrics() map[string]float64 {
 		m["served_"+n.Name] = float64(n.Served)
 		m["dropped_"+n.Name] = float64(n.Dropped + n.Shed)
 		m["queue_max_"+n.Name] = float64(n.QueueMax)
+	}
+	for _, w := range r.Windows {
+		m["win_"+w.Name+"_served"] = float64(w.Served)
+		m["win_"+w.Name+"_dropped"] = float64(w.Dropped)
+		m["win_"+w.Name+"_delay_mean_ms"] = w.Delay.Mean() / 1e6
+		m["win_"+w.Name+"_delay_p95_ms"] = w.Delay.Quantile(0.95) / 1e6
 	}
 	return m
 }

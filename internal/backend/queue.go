@@ -35,6 +35,9 @@ const (
 	EvArrival EventKind = iota
 	// EvDeparture is a server finishing one request's service.
 	EvDeparture
+	// EvTimeline is a scheduled deployment change firing (Config.Timeline:
+	// region outages, capacity rollouts). Req indexes the timeline slice.
+	EvTimeline
 )
 
 // Event is one entry of the global simulation clock: something happens at

@@ -1,0 +1,199 @@
+package backend
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// twoRegions is a two-node control deployment split across regions 0/1,
+// least-loaded routing, unbounded queues — the minimal fleet where a
+// region outage has somewhere to fail over to.
+func twoRegions(rate float64) Config {
+	return Config{
+		Admission: AdmitQueue,
+		Routing:   RouteLeastLoaded,
+		Nodes: []NodeConfig{
+			{Name: "control-0", Class: ClassControl, Region: 0, ServiceRate: rate, Concurrency: 1},
+			{Name: "control-1", Class: ClassControl, Region: 1, ServiceRate: rate, Concurrency: 1},
+		},
+	}
+}
+
+// TestRegionOutageFreezesAndDrains walks a region through down -> up and
+// checks the exact semantics: in-flight work finishes, the frozen queue
+// starts nothing while down, arrivals during the outage fail over to the
+// live region, and region-up drains the frozen waiter with its full wait
+// time on the clock.
+func TestRegionOutageFreezesAndDrains(t *testing.T) {
+	// Four simultaneous arrivals: least-loaded routing alternates them
+	// 0,1,0,1 — each node gets one in service (dep 1s) and one waiting.
+	reqs := []Request{
+		req(0, ClassControl, 1, 0),
+		req(0, ClassControl, 1, 0),
+		req(0, ClassControl, 1, 0),
+		req(0, ClassControl, 1, 0),
+		req(2*time.Second, ClassControl, 1, 0), // arrives mid-outage
+	}
+	cfg := twoRegions(1)
+	cfg.Timeline = []TimelineEvent{
+		{At: 500 * time.Millisecond, Action: ActionRegionDown, Region: 1},
+		{At: 10 * time.Second, Action: ActionRegionUp, Region: 1},
+	}
+	rep := mustSimulate(t, cfg, reqs)
+
+	if rep.Served != 5 || rep.Dropped != 0 || rep.Shed != 0 {
+		t.Fatalf("served/dropped/shed = %d/%d/%d, want 5/0/0", rep.Served, rep.Dropped, rep.Shed)
+	}
+	// The waiter frozen on control-1 queued at t=0 and only started when
+	// the region came back at t=10s.
+	if got := time.Duration(rep.Delay.Max()); got != 10*time.Second {
+		t.Fatalf("max delay = %v, want the frozen waiter's 10s", got)
+	}
+	// The mid-outage arrival failed over to the live region 0 node.
+	var n0, n1 NodeReport
+	for _, n := range rep.Nodes {
+		switch n.Name {
+		case "control-0":
+			n0 = n
+		case "control-1":
+			n1 = n
+		}
+	}
+	if n0.Served != 3 || n1.Served != 2 {
+		t.Fatalf("served split = %d/%d, want 3/2 (failover to the live region)", n0.Served, n1.Served)
+	}
+	// Horizon: the drained waiter departs at 11s.
+	if rep.Horizon != 11*time.Second {
+		t.Fatalf("horizon = %v, want 11s", rep.Horizon)
+	}
+}
+
+// TestCapacityScaleDrainsQueue: a staged capacity rollout mid-run widens
+// the node and immediately drains its backlog — delays collapse from the
+// moment the event fires.
+func TestCapacityScaleDrainsQueue(t *testing.T) {
+	burst := []Request{
+		req(0, ClassControl, 1, 0),
+		req(0, ClassControl, 1, 0),
+		req(0, ClassControl, 1, 0),
+		req(0, ClassControl, 1, 0),
+	}
+	base := oneNode(1, 1, 0, AdmitQueue)
+
+	// Without the rollout the four serialize: delays 0,1,2,3s.
+	plain := mustSimulate(t, base, burst)
+	if got := time.Duration(plain.Delay.Max()); got != 3*time.Second {
+		t.Fatalf("baseline max delay = %v, want 3s", got)
+	}
+
+	scaled := base
+	scaled.Timeline = []TimelineEvent{
+		{At: 1500 * time.Millisecond, Action: ActionScaleCapacity, Class: ClassControl, Factor: 3},
+	}
+	rep := mustSimulate(t, scaled, burst)
+	if rep.Served != 4 || rep.Dropped != 0 {
+		t.Fatalf("served/dropped = %d/%d, want 4/0", rep.Served, rep.Dropped)
+	}
+	// At 1.5s requests 3 and 4 are still queued; the rollout starts both
+	// immediately, so the worst wait is 1.5s instead of 3s.
+	if got := time.Duration(rep.Delay.Max()); got != 1500*time.Millisecond {
+		t.Fatalf("max delay after rollout = %v, want 1.5s", got)
+	}
+	if got := rep.Nodes[0].Concurrency; got != 3 {
+		t.Fatalf("reported concurrency = %d, want the scaled 3", got)
+	}
+}
+
+// TestWindowsDoNotPerturbSimulation: report windows are observation only —
+// the same run with and without windows produces the identical report
+// modulo the Windows field itself (the golden-preservation half of the
+// timeline feature).
+func TestWindowsDoNotPerturbSimulation(t *testing.T) {
+	reqs := makeArrivals(400)
+	cfg := twoRegions(50)
+
+	plain := mustSimulate(t, cfg, reqs)
+
+	windowed := cfg
+	windowed.Windows = []Window{{Name: "w", Start: 0, End: time.Hour}}
+	rep := mustSimulate(t, windowed, reqs)
+	if len(rep.Windows) != 1 {
+		t.Fatalf("window report missing: %+v", rep.Windows)
+	}
+	rep.Windows = nil
+	if !reflect.DeepEqual(plain, rep) {
+		t.Fatalf("attaching a report window changed the simulation:\nplain: %+v\nwindowed: %+v", plain, rep)
+	}
+}
+
+// makeArrivals builds a deterministic spread of arrivals for invariance
+// tests (no RNG — a fixed affine pattern over time, work and keys).
+func makeArrivals(n int) []Request {
+	reqs := make([]Request, 0, n)
+	for i := 0; i < n; i++ {
+		reqs = append(reqs, Request{
+			Arrive: time.Duration(i%97) * 100 * time.Millisecond,
+			Class:  ClassControl,
+			Work:   float64(1 + i%5),
+			Region: uint8(i % 3),
+			Key:    uint64(i) * 0x9e3779b97f4a7c15,
+		})
+	}
+	SortRequests(reqs)
+	return reqs
+}
+
+// TestAmplifyWindowDeterministic pins the surge transformation: pure
+// (same output on every call), input-preserving, in-window-only, and
+// canonically sorted.
+func TestAmplifyWindowDeterministic(t *testing.T) {
+	reqs := makeArrivals(500)
+	orig := append([]Request(nil), reqs...)
+	start, end := 2*time.Second, 5*time.Second
+
+	a := AmplifyWindow(reqs, start, end, 2.5)
+	b := AmplifyWindow(reqs, start, end, 2.5)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("AmplifyWindow is not deterministic")
+	}
+	if !reflect.DeepEqual(reqs, orig) {
+		t.Fatal("AmplifyWindow modified its input")
+	}
+
+	inWin, outWin := 0, 0
+	for _, r := range reqs {
+		if r.Arrive >= start && r.Arrive < end {
+			inWin++
+		} else {
+			outWin++
+		}
+	}
+	aIn, aOut := 0, 0
+	for _, r := range a {
+		if r.Arrive >= start && r.Arrive < end {
+			aIn++
+		} else {
+			aOut++
+		}
+	}
+	if aOut != outWin {
+		t.Fatalf("out-of-window arrivals changed: %d -> %d", outWin, aOut)
+	}
+	// mult 2.5: every in-window request at least doubles, the hash-selected
+	// half gains a third copy — the realized total lands strictly between.
+	if aIn < 2*inWin || aIn > 3*inWin {
+		t.Fatalf("in-window arrivals %d outside [2x, 3x] of %d", aIn, inWin)
+	}
+	sorted := append([]Request(nil), a...)
+	SortRequests(sorted)
+	if !reflect.DeepEqual(a, sorted) {
+		t.Fatal("AmplifyWindow output is not canonically sorted")
+	}
+
+	// mult <= 1 is the identity (a fresh slice with the same contents).
+	same := AmplifyWindow(reqs, start, end, 1)
+	if !reflect.DeepEqual(same, reqs) {
+		t.Fatal("mult=1 amplification is not the identity")
+	}
+}

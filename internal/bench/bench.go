@@ -38,6 +38,7 @@ import (
 	"insidedropbox/internal/capability"
 	"insidedropbox/internal/experiments"
 	"insidedropbox/internal/fleet"
+	scenariopkg "insidedropbox/internal/scenario"
 	"insidedropbox/internal/telemetry"
 	"insidedropbox/internal/traces"
 	"insidedropbox/internal/workload"
@@ -127,6 +128,7 @@ func catalogue() []scenario {
 		{name: "export/home1-8shard-binary", run: runExportBinary},
 		{name: "export/home1-8shard-binary-parallel", run: runExportBinaryParallel},
 		{name: "backend/saturation", setup: warmBackendArrivals, run: runBackendSaturation},
+		{name: "scenario/cohort-mix", setup: warmScenarioCompiled, run: runScenarioCohortMix},
 	}
 }
 
@@ -557,6 +559,59 @@ func runBackendSaturation(ctx context.Context, quick bool) (int64, int64) {
 		}
 	}
 	return events, 0
+}
+
+// scenarioCache memoizes the compiled cohort-mix spec per scale; the
+// compilation (cheap, pure) happens in the setup phase so the measured
+// region is the scenario streaming path alone.
+var scenarioCache = map[bool]*scenariopkg.Compiled{}
+
+// scenarioCompiled returns the pinned cohort-mix scenario of the
+// scenario/cohort-mix benchmark: the three most behaviorally divergent
+// presets over the Home 1 population, 8 shards.
+func scenarioCompiled(quick bool) *scenariopkg.Compiled {
+	c := scenarioCache[quick]
+	if c == nil {
+		scale, _ := scalesFor(quick)
+		sp := &scenariopkg.Spec{
+			Schema: scenariopkg.Schema,
+			Name:   "bench-cohort-mix",
+			Base:   scenariopkg.BaseSpec{VP: "home1", Scale: scale, Shards: 8},
+			Cohorts: []scenariopkg.CohortSpec{
+				{Name: "office", Preset: "office-worker", Weight: 0.5},
+				{Name: "mobile", Preset: "mobile-intermittent", Weight: 0.3},
+				{Name: "bots", Preset: "ci-bot", Weight: 0.2},
+			},
+		}
+		var err error
+		c, err = scenariopkg.Compile(sp, benchSeed)
+		if err != nil {
+			panic(err)
+		}
+		scenarioCache[quick] = c
+	}
+	return c
+}
+
+// warmScenarioCompiled is the scenario benchmark's setup hook.
+func warmScenarioCompiled(quick bool) { scenarioCompiled(quick) }
+
+// runScenarioCohortMix measures the declarative-scenario streaming path:
+// cohort-overlaid generation across 8 shards, per-shard CSV
+// fingerprinting and backend-arrival collection in one pass — the full
+// CollectStream pipeline the scenario/* experiments run on.
+func runScenarioCohortMix(ctx context.Context, quick bool) (int64, int64) {
+	c := scenarioCompiled(quick)
+	_, reps := scalesFor(quick)
+	var n int64
+	for i := 0; i < reps; i++ {
+		res, err := scenariopkg.CollectStream(ctx, c, 0)
+		if err != nil {
+			break
+		}
+		n += int64(res.Stats.Records)
+	}
+	return n, 0
 }
 
 // ---------- persistence, discovery, comparison ----------

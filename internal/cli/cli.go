@@ -43,6 +43,7 @@ type SpecFlags struct {
 	whatif     *bool
 	profiles   *string
 	backend    *string
+	scenario   *string
 	out        *string
 }
 
@@ -62,7 +63,8 @@ func BindSpec(fs *flag.FlagSet) *SpecFlags {
 			"comma-separated capability profiles for the what-if lab (first = baseline; setting this opts the lab in)"),
 		backend: fs.String("backend", "", "run the backend capacity lab under this preset ("+
 			strings.Join(insidedropbox.BackendPresets(), "|")+"; setting this opts the lab in)"),
-		out: fs.String("out", "results", "output directory for rendered results"),
+		scenario: fs.String("scenario", "", "run the scenario/* experiments under this declarative spec file (setting this opts them in)"),
+		out:      fs.String("out", "results", "output directory for rendered results"),
 	}
 }
 
@@ -78,6 +80,13 @@ func (f *SpecFlags) Spec() (insidedropbox.Spec, error) {
 		Backend:    *f.backend,
 		ResultsDir: *f.out,
 	}
+	if *f.scenario != "" {
+		sp, err := insidedropbox.LoadScenario(*f.scenario)
+		if err != nil {
+			return spec, err
+		}
+		spec.Scenario = sp
+	}
 	if *f.only != "" {
 		spec.Experiments = SplitPatterns(*f.only)
 		// An explicit selection suppresses the Spec's opt-in defaulting,
@@ -91,6 +100,9 @@ func (f *SpecFlags) Spec() (insidedropbox.Spec, error) {
 		}
 		if *f.backend != "" {
 			spec.Experiments = append(spec.Experiments, "backend/*")
+		}
+		if *f.scenario != "" {
+			spec.Experiments = append(spec.Experiments, "scenario/*")
 		}
 	}
 	// Profiles apply when the what-if lab was asked for (-whatif) or when

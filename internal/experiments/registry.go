@@ -10,6 +10,7 @@ import (
 	"insidedropbox/internal/backend"
 	"insidedropbox/internal/capability"
 	"insidedropbox/internal/fleet"
+	"insidedropbox/internal/scenario"
 	"insidedropbox/internal/traces"
 	"insidedropbox/internal/workload"
 )
@@ -149,6 +150,11 @@ type Session struct {
 	// Backend is the capacity preset of the opt-in "backend/*" lab
 	// (empty means the provisioned deployment; see backend.Presets).
 	Backend string
+	// Scenario is the loaded declarative scenario of the opt-in
+	// "scenario/*" experiments (nil disables them). The spec's base
+	// section wins over Seed and Fleet.Shards for the scenario stream;
+	// Fleet.Workers still only affects wall-clock time.
+	Scenario *scenario.Spec
 
 	mu        sync.Mutex
 	camp      *Campaign
@@ -158,6 +164,8 @@ type Session struct {
 	packDone  bool
 	tb        *TestbedResult
 	beReqs    []backend.Request
+	scComp    *scenario.Compiled
+	scStream  *scenario.StreamResult
 }
 
 // Campaign returns the session's materialized four-vantage-point campaign,
@@ -361,4 +369,5 @@ func init() {
 	})
 
 	registerBackend()
+	registerScenario()
 }

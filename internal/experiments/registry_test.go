@@ -20,6 +20,7 @@ func TestRegistryCatalogueComplete(t *testing.T) {
 		"figure18", "figure19", "figure20", "figure21",
 		"fleet", "whatif",
 		"backend/baseline", "backend/saturation", "backend/policies",
+		"scenario/cohorts", "scenario/flash-crowd",
 	}
 	cat := Experiments()
 	seen := map[string]bool{}
@@ -63,9 +64,9 @@ func TestSelectDefaultsAndGlobs(t *testing.T) {
 			t.Errorf("default selection includes opt-in %q", e.ID)
 		}
 	}
-	if len(def) != len(Experiments())-5 {
-		t.Errorf("default selection has %d entries, want all but fleet+whatif+backend/* (%d)",
-			len(def), len(Experiments())-5)
+	if len(def) != len(Experiments())-7 {
+		t.Errorf("default selection has %d entries, want all but fleet+whatif+backend/*+scenario/* (%d)",
+			len(def), len(Experiments())-7)
 	}
 
 	// Globs match in catalogue order, opt-ins included when named.

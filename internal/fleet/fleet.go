@@ -178,6 +178,10 @@ type VPStats struct {
 
 	// Population-level per-day background volumes (from shard 0).
 	BackgroundByDay, YouTubeByDay []float64
+
+	// Per-cohort ground truth merged across shards, keyed by cohort name
+	// (nil unless the vantage point carries a cohort plan).
+	CohortDevices, CohortRecords map[string]int
 }
 
 // RunVP executes one vantage point across fc.Shards shards on a bounded
@@ -248,6 +252,8 @@ func mergeStats(vp workload.VPConfig, fc Config, stats []workload.ShardStats) VP
 		Devices:         merged.Devices,
 		BackgroundByDay: merged.BackgroundByDay,
 		YouTubeByDay:    merged.YouTubeByDay,
+		CohortDevices:   merged.CohortDevices,
+		CohortRecords:   merged.CohortRecords,
 	}
 }
 

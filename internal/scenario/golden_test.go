@@ -1,0 +1,117 @@
+package scenario
+
+import (
+	"hash/fnv"
+	"path/filepath"
+	"testing"
+
+	"insidedropbox/internal/traces"
+	"insidedropbox/internal/workload"
+)
+
+// legacyStreamHash reproduces the golden-hash construction of
+// internal/workload/golden_test.go exactly: one FNV-1a hash over the
+// non-anonymized CSV serialization of all shards in index order. The
+// scenario compiler's output is fed through the identical pipeline the
+// flag-driven path uses, so a matching hash means a matching
+// configuration, bit for bit.
+func legacyStreamHash(t *testing.T, cfg workload.VPConfig, seed int64, nshards int) uint64 {
+	t.Helper()
+	h := fnv.New64a()
+	w := traces.NewWriter(h)
+	for sh := 0; sh < nshards; sh++ {
+		workload.GenerateShard(cfg, seed, sh, nshards, func(r *traces.FlowRecord) {
+			if err := w.Write(r); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return h.Sum64()
+}
+
+// TestEmptySpecMatchesLegacyGolden pins the compiler's backward
+// compatibility: a spec with no cohorts and no backend section compiles to
+// the same record stream the legacy flag path generates, byte for byte.
+// The expected hashes are the untouched goldens from
+// internal/workload/golden_test.go — if this test fails while that one
+// passes, the scenario compiler drifted from the flag path.
+func TestEmptySpecMatchesLegacyGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		want uint64
+	}{
+		{"home1-1shard",
+			`{"schema":1,"name":"t","base":{"vp":"home1","scale":0.02,"seed":7,"shards":1}}`,
+			0xd01117eb3a234b9d},
+		{"home1-4shard",
+			`{"schema":1,"name":"t","base":{"vp":"home1","scale":0.02,"seed":7,"shards":4}}`,
+			0x1887b88d5f86bad5},
+		{"home2-abnormal-1shard",
+			`{"schema":1,"name":"t","base":{"vp":"home2","scale":0.02,"seed":9,"shards":1}}`,
+			0xa59024c1345e9efb},
+		{"campus1-1shard",
+			`{"schema":1,"name":"t","base":{"vp":"campus1","scale":0.1,"seed":7,"shards":1}}`,
+			0x6e788bc7931c6666},
+		{"campus1-bigchunks-1shard",
+			`{"schema":1,"name":"t","base":{"vp":"campus1","scale":0.1,"seed":7,"shards":1,"profile":"big-chunks-16mb"}}`,
+			0x5ffb4eb3ba85ad2b},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sp, err := Parse([]byte(tc.doc))
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, err := Compile(sp, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c.VP.Cohorts != nil {
+				t.Fatal("empty spec grew a cohort plan")
+			}
+			got := legacyStreamHash(t, c.VP, c.Seed, c.Fleet.Shards)
+			if got != tc.want {
+				t.Fatalf("compiled stream hash = %#x, want legacy golden %#x (scenario compiler no longer reproduces the flag path)", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestCommittedCatalogue loads, validates and compiles every spec in the
+// committed scenarios/ catalogue, and checks the paper-baseline spec
+// against the legacy 4-shard golden it documents. New catalogue entries
+// are covered automatically.
+func TestCommittedCatalogue(t *testing.T) {
+	paths, err := filepath.Glob("../../scenarios/*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 4 {
+		t.Fatalf("scenarios/ catalogue has %d specs, want at least 4: %v", len(paths), paths)
+	}
+	for _, p := range paths {
+		t.Run(filepath.Base(p), func(t *testing.T) {
+			sp, err := Load(p)
+			if err != nil {
+				t.Fatalf("catalogue spec does not load: %v", err)
+			}
+			if sp.Description == "" {
+				t.Error("catalogue specs must carry a description")
+			}
+			c, err := Compile(sp, 1)
+			if err != nil {
+				t.Fatalf("catalogue spec does not compile: %v", err)
+			}
+			if sp.Name == "paper-baseline" {
+				const want = 0x1887b88d5f86bad5 // home1-4shard legacy golden
+				if got := legacyStreamHash(t, c.VP, c.Seed, c.Fleet.Shards); got != want {
+					t.Fatalf("paper-baseline stream hash = %#x, want %#x (the spec's description documents this golden)", got, want)
+				}
+			}
+		})
+	}
+}

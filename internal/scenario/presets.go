@@ -1,0 +1,153 @@
+package scenario
+
+import (
+	"sort"
+
+	"insidedropbox/internal/simrand"
+)
+
+// cohortPresets are the built-in behavior bundles a CohortSpec can name.
+// A preset is itself a CohortSpec (without name/weight); explicitly set
+// fields of the referencing spec overlay the preset's values.
+//
+// The bundles are caricatures with a defensible anchor in the paper's
+// observations: office workers concentrate small collaborative edits in
+// working hours, photo hoarders upload few but huge batches, CI bots
+// churn continuously with no diurnal shape, mobile clients connect in
+// short bursts behind lossy NATs, and shared team namespaces multiply
+// the device-linked folder count (the paper's sect. on shared folders).
+var cohortPresets = map[string]CohortSpec{
+	"office-worker": {
+		Profile:         "dropbox-1.4.0",
+		FileSizeMult:    0.8,
+		EditRateMult:    1.3,
+		SessionRateMult: 1.2,
+		SessionLenMult:  1.2,
+		Daily:           "office",
+		Weekly:          "campus",
+	},
+	"photo-hoarder": {
+		Profile:         "dropbox-1.4.0",
+		FileSizeMult:    8,
+		EditRateMult:    0.5,
+		SessionRateMult: 0.7,
+	},
+	"ci-bot": {
+		Profile:      "full-pipeline",
+		AlwaysOn:     true,
+		EditRateMult: 6,
+		FileSizeMult: 0.3,
+		Daily:        "flat",
+		Weekly:       "flat",
+	},
+	"mobile-intermittent": {
+		Profile:         "dropbox-1.2.52",
+		SessionRateMult: 2,
+		SessionLenMult:  0.15,
+		NATChopFrac:     0.3,
+		EditRateMult:    0.6,
+		FileSizeMult:    0.5,
+	},
+	"shared-team-namespace": {
+		NamespaceLambdaMult: 3,
+		EditRateMult:        1.5,
+		Daily:               "office",
+		Weekly:              "campus",
+	},
+}
+
+// Presets lists the built-in cohort preset names, sorted.
+func Presets() []string {
+	names := make([]string, 0, len(cohortPresets))
+	for n := range cohortPresets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// presetCohort resolves a preset name.
+func presetCohort(name string) (CohortSpec, bool) {
+	p, ok := cohortPresets[name]
+	return p, ok
+}
+
+// overlay merges a cohort spec over its preset: zero-valued fields of the
+// spec inherit the preset's, everything explicitly set wins. (The one
+// zero-value ambiguity — a preset with AlwaysOn true cannot be overridden
+// back to false — is acceptable: drop the preset and spell the cohort out.)
+func (c CohortSpec) overlay() CohortSpec {
+	if c.Preset == "" {
+		return c
+	}
+	p, ok := presetCohort(c.Preset)
+	if !ok {
+		return c // validated earlier; unreachable after Parse
+	}
+	out := p
+	out.Name, out.Weight, out.Preset = c.Name, c.Weight, c.Preset
+	if c.Profile != "" {
+		out.Profile = c.Profile
+	}
+	if c.FileSizeMult != 0 {
+		out.FileSizeMult = c.FileSizeMult
+	}
+	if c.EditRateMult != 0 {
+		out.EditRateMult = c.EditRateMult
+	}
+	if c.SessionRateMult != 0 {
+		out.SessionRateMult = c.SessionRateMult
+	}
+	if c.SessionLenMult != 0 {
+		out.SessionLenMult = c.SessionLenMult
+	}
+	if c.NamespaceLambdaMult != 0 {
+		out.NamespaceLambdaMult = c.NamespaceLambdaMult
+	}
+	if c.AlwaysOn {
+		out.AlwaysOn = true
+	}
+	if c.NATChopFrac != 0 {
+		out.NATChopFrac = c.NATChopFrac
+	}
+	if c.Daily != "" {
+		out.Daily = c.Daily
+	}
+	if c.Weekly != "" {
+		out.Weekly = c.Weekly
+	}
+	if len(c.Flash) > 0 {
+		out.Flash = c.Flash
+	}
+	return out
+}
+
+// dailyProfile maps a spec daily-profile name to a simrand profile. "flat"
+// is the uniform profile (Normalize of the zero profile).
+func dailyProfile(name string) (simrand.DiurnalProfile, bool) {
+	switch name {
+	case "office":
+		return simrand.OfficeHours(), true
+	case "home-evenings":
+		return simrand.HomeEvenings(), true
+	case "campus-roaming":
+		return simrand.CampusRoaming(), true
+	case "flat":
+		var p simrand.DiurnalProfile
+		return p.Normalize(), true
+	}
+	return simrand.DiurnalProfile{}, false
+}
+
+// weeklyProfile maps a spec weekly-profile name.
+func weeklyProfile(name string) (simrand.WeekdayFactor, bool) {
+	switch name {
+	case "campus":
+		return simrand.CampusWeek(), true
+	case "home":
+		return simrand.HomeWeek(), true
+	case "flat":
+		return simrand.WeekdayFactor{1, 1, 1, 1, 1, 1, 1}, true
+	}
+	return simrand.WeekdayFactor{}, false
+}

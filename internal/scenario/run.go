@@ -1,0 +1,117 @@
+package scenario
+
+import (
+	"context"
+	"hash"
+	"hash/fnv"
+
+	"insidedropbox/internal/backend"
+	"insidedropbox/internal/fleet"
+	"insidedropbox/internal/traces"
+)
+
+// StreamResult is one compiled scenario streamed through the fleet
+// engine: the merged ground-truth stats (per-cohort counts included), the
+// backend arrival set in canonical order, and the campaign's stream hash.
+type StreamResult struct {
+	Stats fleet.VPStats
+	// Requests are the Dropbox-bound arrivals in canonical order (base
+	// load — surges are applied at simulation time, see ApplySurges).
+	Requests []backend.Request
+	// StreamHash fingerprints the full record stream: per-shard FNV-1a
+	// over the CSV serialization, folded across shards in shard-index
+	// order. It is a function of (spec, seed, shards) alone — worker
+	// count never changes it (determinism-contract point 15).
+	StreamHash uint64
+}
+
+// hashFold mixes one shard's stream hash into the combined fingerprint
+// (FNV-1a step over the 8 hash bytes).
+func hashFold(acc, shardHash uint64) uint64 {
+	const prime = 0x100000001b3
+	for i := 0; i < 8; i++ {
+		acc ^= (shardHash >> (8 * i)) & 0xff
+		acc *= prime
+	}
+	return acc
+}
+
+// hashFoldOffset seeds the fold (the standard FNV-1a offset basis).
+const hashFoldOffset = 0xcbf29ce484222325
+
+// streamAgg is the per-shard aggregator of CollectStream: it feeds every
+// record through the CSV serializer into a running FNV-1a hash and keeps
+// the backend requests (plain values — safe on the pooled path; the CSV
+// writer consumes the record before Consume returns).
+type streamAgg struct {
+	reqs backend.Collector
+	h    hash.Hash64
+	w    *traces.Writer
+
+	// combined is the shard-order fold of shard hashes, built up on the
+	// root aggregator as Merge is called; folded marks the root's own
+	// shard hash as already folded in.
+	combined uint64
+	folded   bool
+}
+
+func newStreamAgg() *streamAgg {
+	h := fnv.New64a()
+	return &streamAgg{h: h, w: traces.NewWriter(h)}
+}
+
+// Consume implements fleet.Sink.
+func (s *streamAgg) Consume(r *traces.FlowRecord) {
+	s.w.Write(r) // hashing never fails; Flush would surface any error
+	s.reqs.Consume(r)
+}
+
+// shardSum finalizes and returns this shard's own stream hash.
+func (s *streamAgg) shardSum() uint64 {
+	s.w.Flush()
+	return s.h.Sum64()
+}
+
+// Merge implements fleet.Aggregator. The engine merges in shard-index
+// order onto the shard-0 root, so folding the root's own hash first (on
+// the first Merge) and each incoming shard's after keeps the combined
+// fingerprint a pure function of the shard streams.
+func (s *streamAgg) Merge(other fleet.Aggregator) {
+	o := other.(*streamAgg)
+	if !s.folded {
+		s.combined = hashFold(hashFoldOffset, s.shardSum())
+		s.folded = true
+	}
+	s.combined = hashFold(s.combined, o.shardSum())
+	s.reqs.Requests = append(s.reqs.Requests, o.reqs.Requests...)
+}
+
+// sum returns the final combined fingerprint (single-shard runs never saw
+// a Merge).
+func (s *streamAgg) sum() uint64 {
+	if !s.folded {
+		s.combined = hashFold(hashFoldOffset, s.shardSum())
+		s.folded = true
+	}
+	return s.combined
+}
+
+// CollectStream runs a compiled scenario's population through the sharded
+// fleet engine once, producing the stream fingerprint, the per-cohort
+// ground truth and the backend arrival set in one pass. workers > 0
+// overrides the worker count (never the results). Cancelling ctx aborts
+// at fleet-shard granularity.
+func CollectStream(ctx context.Context, c *Compiled, workers int) (*StreamResult, error) {
+	fc := c.Fleet
+	if workers > 0 {
+		fc.Workers = workers
+	}
+	agg, stats, err := fleet.Aggregate(ctx, c.VP, c.Seed, fc, func(int) fleet.Aggregator { return newStreamAgg() })
+	if err != nil {
+		return nil, err
+	}
+	root := agg.(*streamAgg)
+	reqs := root.reqs.Requests
+	backend.SortRequests(reqs)
+	return &StreamResult{Stats: stats, Requests: reqs, StreamHash: root.sum()}, nil
+}

@@ -115,6 +115,12 @@ type VPConfig struct {
 	// historical Version behaviour bit for bit.
 	Caps *capability.Profile
 
+	// Cohorts, when set, splits the Dropbox population into weighted
+	// behavioral cohorts (see CohortPlan): each device is deterministically
+	// assigned by its host ID and generated under its cohort's overrides.
+	// Nil reproduces the single-population stream bit for bit.
+	Cohorts *CohortPlan
+
 	// AbnormalUploader plants the Home 2 device that submitted single
 	// 4 MB chunks in consecutive TCP connections for days (Sec. 4.3.1).
 	AbnormalUploader bool

@@ -83,6 +83,8 @@ type device struct {
 	natChopped bool
 	sessions   []session
 	access     AccessKind
+	// cohort is the device's behavioral cohort (nil without a plan).
+	cohort *Cohort
 	// events accumulates the device's pending synchronization events while
 	// a household is generated, then is sorted and drained in time order
 	// (the former map[*device][]syncEvent, flattened onto the device).
@@ -100,7 +102,7 @@ type household struct {
 // generator carries the run state of one shard.
 type generator struct {
 	cfg     VPConfig
-	caps    capability.Profile // resolved client capability profile
+	caps    capability.Profile // capability profile of the current device
 	rng     *simrand.Source
 	emit    func(*traces.FlowRecord)
 	alloc   func() *traces.FlowRecord
@@ -108,6 +110,16 @@ type generator struct {
 	stats   ShardStats
 	outage  []bool // per-day probe outage, nil when none configured
 	horizon time.Duration
+
+	// Cohort state: plan is cfg.Cohorts, cohort tracks the device being
+	// generated (nil between devices and on the legacy path), baseCaps is
+	// the VP-level profile restored when a cohort carries no override, and
+	// cohortCaps marks that caps came from a cohort (params() then honors
+	// the profile's server IW, as an explicit VP profile does).
+	plan       *CohortPlan
+	cohort     *Cohort
+	baseCaps   capability.Profile
+	cohortCaps bool
 
 	nextHost uint64
 	nextNS   uint32
@@ -148,6 +160,27 @@ type ShardStats struct {
 	// only shard 0 produces them (nil on every other shard).
 	BackgroundByDay []float64
 	YouTubeByDay    []float64
+
+	// Per-cohort ground truth, keyed by cohort name (nil without a
+	// cohort plan). CohortRecords attributes device-level flows only;
+	// household-level web/API/provider traffic stays unattributed, so the
+	// values sum to at most Records.
+	CohortDevices map[string]int
+	CohortRecords map[string]int
+}
+
+func (s *ShardStats) addCohortDevice(name string) {
+	if s.CohortDevices == nil {
+		s.CohortDevices = make(map[string]int)
+	}
+	s.CohortDevices[name]++
+}
+
+func (s *ShardStats) addCohortRecord(name string) {
+	if s.CohortRecords == nil {
+		s.CohortRecords = make(map[string]int)
+	}
+	s.CohortRecords[name]++
 }
 
 // Merge folds another shard's stats in. Call in shard-index order so merged
@@ -160,6 +193,18 @@ func (s *ShardStats) Merge(o ShardStats) {
 	if o.BackgroundByDay != nil {
 		s.BackgroundByDay = o.BackgroundByDay
 		s.YouTubeByDay = o.YouTubeByDay
+	}
+	if o.CohortDevices != nil && s.CohortDevices == nil {
+		s.CohortDevices = make(map[string]int)
+	}
+	for k, v := range o.CohortDevices {
+		s.CohortDevices[k] += v
+	}
+	if o.CohortRecords != nil && s.CohortRecords == nil {
+		s.CohortRecords = make(map[string]int)
+	}
+	for k, v := range o.CohortRecords {
+		s.CohortRecords[k] += v
 	}
 }
 
@@ -276,6 +321,8 @@ func GenerateShardSink(cfg VPConfig, seed int64, shard, nshards int, sink ShardS
 	g := &generator{
 		cfg:         cfg,
 		caps:        EffectiveCaps(cfg),
+		baseCaps:    EffectiveCaps(cfg),
+		plan:        cfg.Cohorts,
 		rng:         simrand.New(ShardSeed(seed, shard), string(label)),
 		emit:        sink.Emit,
 		alloc:       sink.Alloc,
@@ -353,6 +400,9 @@ func (g *generator) record(r *traces.FlowRecord) {
 		return
 	}
 	g.stats.Records++
+	if c := g.cohort; c != nil {
+		g.stats.addCohortRecord(c.Name)
+	}
 	g.emit(r)
 }
 
@@ -380,14 +430,18 @@ func (g *generator) background() {
 	}
 }
 
-// weekFactorAt folds the campaign start weekday into the configured weekly
-// profile.
-func (g *generator) weekAdjusted() simrand.WeekdayFactor {
+// weekShifted folds the campaign start weekday into a weekly profile.
+func weekShifted(w simrand.WeekdayFactor) simrand.WeekdayFactor {
 	var out simrand.WeekdayFactor
 	for i := 0; i < 7; i++ {
-		out[i] = [7]float64(g.cfg.Week)[(i+campaignStartWeekday)%7]
+		out[i] = [7]float64(w)[(i+campaignStartWeekday)%7]
 	}
 	return out
+}
+
+// weekAdjusted is the configured weekly profile in campaign time.
+func (g *generator) weekAdjusted() simrand.WeekdayFactor {
+	return weekShifted(g.cfg.Week)
 }
 
 // subscriber generates all traffic of one IP address.
@@ -435,16 +489,53 @@ func (g *generator) makeDropboxHousehold(ip wire.IP, access AccessKind) *househo
 	for i := 0; i < n; i++ {
 		d := &device{host: g.nextHost, access: access}
 		g.nextHost++
+		if g.plan != nil {
+			d.cohort = g.plan.Assign(d.host)
+			g.setCohort(d.cohort)
+			g.stats.addCohortDevice(d.cohort.Name)
+		}
 		d.namespaces = g.deviceNamespaces(rootNS, pool)
 		// A few devices sit permanently behind connection-killing
 		// equipment; most chopping is decided per session.
-		d.natChopped = g.rng.Bool(g.cfg.NATChoppedFrac / 4)
+		d.natChopped = g.rng.Bool(g.chopFrac() / 4)
 		d.sessions = g.deviceSessions(hh.group)
 		hh.devices = append(hh.devices, d)
+	}
+	if g.plan != nil {
+		g.setCohort(nil)
 	}
 	g.stats.Households++
 	g.stats.Devices += n
 	return hh
+}
+
+// setCohort switches the generator's behavioral context to a device's
+// cohort: the capability profile swaps to the cohort's override (restored
+// to the VP baseline on nil), and the multiplier hooks below start reading
+// the cohort. Never called on the legacy nil-plan path, which therefore
+// stays bit-identical.
+func (g *generator) setCohort(c *Cohort) {
+	g.cohort = c
+	if c != nil && c.Caps != nil {
+		g.caps = *c.Caps
+		g.cohortCaps = true
+	} else {
+		g.caps = g.baseCaps
+		g.cohortCaps = false
+	}
+}
+
+// chopFrac is the effective per-session notification-chopping probability:
+// the VP baseline plus the current cohort's intermittent-connectivity add-on.
+func (g *generator) chopFrac() float64 {
+	f := g.cfg.NATChoppedFrac
+	if c := g.cohort; c != nil {
+		f += c.NATChopFrac
+		if f > 1 {
+			f = 1
+		}
+	}
+	return f
 }
 
 func (g *generator) pickGroup() classify.UserGroup {
@@ -492,7 +583,11 @@ func (g *generator) deviceNamespaces(root uint32, pool []uint32) []uint32 {
 	if g.rng.Bool(g.cfg.P1Namespace) {
 		return out
 	}
-	n := 1 + g.rng.Poisson(g.cfg.NamespaceLambda)
+	lambda := g.cfg.NamespaceLambda
+	if c := g.cohort; c != nil {
+		lambda *= c.namespaceLambdaMult()
+	}
+	n := 1 + g.rng.Poisson(lambda)
 	for i := 0; i < n; i++ {
 		if i < len(pool) && g.rng.Bool(0.6) {
 			out = append(out, pool[i])
@@ -511,6 +606,10 @@ func (g *generator) allocNS() uint32 {
 
 // deviceSessions draws the session process for one device over the horizon.
 func (g *generator) deviceSessions(group classify.UserGroup) []session {
+	c := g.cohort
+	if c != nil && c.AlwaysOn {
+		return []session{{0, g.horizon}}
+	}
 	// A slice of devices never goes offline (the Fig. 16 tail).
 	alwaysOn := 0.08
 	if g.cfg.WorkstationLike {
@@ -526,11 +625,27 @@ func (g *generator) deviceSessions(group classify.UserGroup) []session {
 	if group == classify.GroupOccasional {
 		rate *= 0.45
 	}
+	diurnal, week := g.cfg.Diurnal, g.weekAdjusted()
+	if c != nil {
+		rate *= c.sessionRateMult()
+		if c.Diurnal != nil {
+			diurnal = *c.Diurnal
+		}
+		if c.Week != nil {
+			week = weekShifted(*c.Week)
+		}
+	}
 	starts := simrand.ThinnedPoissonProcess(g.rng, g.horizon, rate,
-		g.cfg.Diurnal, g.weekAdjusted(), g.cfg.Holidays)
+		diurnal, week, g.cfg.Holidays)
+	if c != nil && len(c.Flash) > 0 {
+		starts = g.flashStarts(starts, c, rate)
+	}
 	var out []session
 	for _, s := range starts {
 		dur := g.sessionDuration()
+		if c != nil {
+			dur = time.Duration(float64(dur) * c.sessionLenMult())
+		}
 		end := s + dur
 		if end > g.horizon {
 			end = g.horizon
@@ -545,6 +660,28 @@ func (g *generator) deviceSessions(group classify.UserGroup) []session {
 		out = append(out, session{s, end})
 	}
 	return out
+}
+
+// flashStarts adds the extra session arrivals of a cohort's flash windows:
+// a homogeneous Poisson excess of rate*(mult-1) per day, uniform inside the
+// window, merged into the base process in time order.
+func (g *generator) flashStarts(starts []time.Duration, c *Cohort, rate float64) []time.Duration {
+	for _, fw := range c.Flash {
+		lo, hi := fw.Start, fw.End
+		if hi > g.horizon {
+			hi = g.horizon
+		}
+		if hi <= lo || fw.RateMult <= 1 {
+			continue
+		}
+		days := (hi - lo).Hours() / 24
+		n := g.rng.Poisson(rate * (fw.RateMult - 1) * days)
+		for i := 0; i < n; i++ {
+			starts = append(starts, lo+time.Duration(g.rng.Float64()*float64(hi-lo)))
+		}
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	return starts
 }
 
 // sessionDuration follows the Fig. 16 mixtures.
@@ -611,6 +748,9 @@ func (g *generator) dropboxTraffic(hh *household) {
 	// to the former map-of-slices build, so the sorted drain order — and
 	// with it the record stream — is unchanged.
 	for _, dev := range hh.devices {
+		if g.plan != nil {
+			g.setCohort(dev.cohort)
+		}
 		for _, s := range dev.sessions {
 			g.notifyFlows(hh, dev, s)
 			g.controlFlow(hh, s.start, 3, 2) // register + first list
@@ -619,6 +759,9 @@ func (g *generator) dropboxTraffic(hh *household) {
 		}
 	}
 	for _, dev := range hh.devices {
+		if g.plan != nil {
+			g.setCohort(dev.cohort)
+		}
 		evs := dev.events
 		g.stats.SyncEvents += len(evs)
 		// sort.Sort over the typed slice runs the same pdqsort as
@@ -631,7 +774,11 @@ func (g *generator) dropboxTraffic(hh *household) {
 		g.closeMerger(mergers[0])
 		g.closeMerger(mergers[1])
 	}
-	// Web interface / direct-link / API usage rides on the household.
+	// Web interface / direct-link / API usage rides on the household (no
+	// cohort attribution — it is account-level, not device-level).
+	if g.plan != nil {
+		g.setCohort(nil)
+	}
 	if g.rng.Bool(0.25) {
 		g.webInterface(hh.ip, 1+g.rng.Intn(3))
 	}
@@ -700,6 +847,11 @@ func (g *generator) sessionEvents(hh *household, dev *device, s session) {
 		return
 	}
 	upRate, downRate := eventRates(hh.group)
+	if c := g.cohort; c != nil {
+		m := c.editRateMult() * c.flashMult(s.start)
+		upRate *= m
+		downRate *= m
+	}
 	// First synchronization at start-up is download-dominated (Sec. 5.4)
 	// and accumulates every update produced while offline, so it skews
 	// larger than individual store events (Fig. 7).
@@ -774,6 +926,9 @@ func (g *generator) fileSize() int64 {
 	}
 	if editDelta && !g.caps.DeltaEncoding {
 		v *= capability.NoDeltaInflate
+	}
+	if c := g.cohort; c != nil {
+		v *= c.fileSizeMult()
 	}
 	if v < 100 {
 		v = 100
@@ -935,7 +1090,7 @@ func (g *generator) params(access AccessKind, dir classify.Direction) flowmodel.
 		bw = 1.25e6 // per-server ceiling (Sec. 4.4)
 	}
 	iw := g.cfg.ServerIW
-	if g.cfg.Caps != nil {
+	if g.cfg.Caps != nil || g.cohortCaps {
 		// Explicit profiles carry their own server tuning (client releases
 		// and IW raises deployed jointly, Table 4).
 		iw = g.caps.IW()
@@ -1075,7 +1230,7 @@ func (g *generator) notifyFlows(hh *household, dev *device, s session) {
 	// producing the sub-minute mass of Fig. 16. Chopping is decided per
 	// session: "most of those flows are from some few devices" — but a
 	// device's environment varies (Sec. 5.5).
-	chopped := dev.natChopped || g.rng.Bool(g.cfg.NATChoppedFrac)
+	chopped := dev.natChopped || g.rng.Bool(g.chopFrac())
 	if !chopped {
 		g.oneNotifyFlow(hh, dev, s.start, s.end)
 		return

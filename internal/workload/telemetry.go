@@ -14,10 +14,18 @@ var (
 )
 
 // flushTelemetry publishes one completed shard's ground-truth counters.
+// Per-cohort counters are registered lazily by name — the registry is
+// lookup-or-create, and this runs once per shard, not on the record path.
 func (s *ShardStats) flushTelemetry() {
 	mShards.Inc()
 	mRecords.Add(uint64(s.Records))
 	mHouseholds.Add(uint64(s.Households))
 	mDevices.Add(uint64(s.Devices))
 	mSyncEvents.Add(uint64(s.SyncEvents))
+	for name, n := range s.CohortDevices {
+		telemetry.NewCounter("scenario.cohort." + name + ".devices").Add(uint64(n))
+	}
+	for name, n := range s.CohortRecords {
+		telemetry.NewCounter("scenario.cohort." + name + ".records").Add(uint64(n))
+	}
 }

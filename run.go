@@ -66,6 +66,13 @@ type Spec struct {
 	// explicitly, it runs under the provisioned preset.
 	Backend string
 
+	// Scenario is a loaded declarative scenario spec (LoadScenario); it
+	// configures the "scenario/*" experiments and opts them into the
+	// default selection. The spec's base section wins over Seed and
+	// Fleet.Shards for the scenario stream; Workers still only affects
+	// wall-clock time. Nil leaves the experiments opt-in.
+	Scenario *ScenarioSpec
+
 	// ResultsDir, when non-empty, receives the rendered results via
 	// WriteResults after the run completes, plus a schema-versioned
 	// manifest.json (telemetry.Manifest): the run's provenance record —
@@ -157,6 +164,10 @@ func WithFleetScale(scale float64) Option { return func(s *Spec) { s.FleetScale 
 // backend/* experiments into the default selection.
 func WithBackend(preset string) Option { return func(s *Spec) { s.Backend = preset } }
 
+// WithScenario attaches a loaded scenario spec and opts the scenario/*
+// experiments into the default selection.
+func WithScenario(sp *ScenarioSpec) Option { return func(s *Spec) { s.Scenario = sp } }
+
 // WithQuick selects small populations and quick packet labs.
 func WithQuick() Option { return func(s *Spec) { s.Quick = true } }
 
@@ -204,6 +215,9 @@ func (s Spec) resolve() (Spec, []Experiment, error) {
 		}
 		if s.Backend != "" {
 			patterns = append(patterns, "backend/*")
+		}
+		if s.Scenario != nil {
+			patterns = append(patterns, "scenario/*")
 		}
 		def, err := experiments.Select()
 		if err != nil {
@@ -270,6 +284,7 @@ func Run(ctx context.Context, spec Spec, opts ...Option) ([]*Result, error) {
 		FleetScale: spec.FleetScale,
 		Profiles:   spec.Profiles,
 		Backend:    spec.Backend,
+		Scenario:   spec.Scenario,
 	}
 	results := make([]*Result, 0, len(sel))
 	var expTimings []telemetry.ExperimentTiming
@@ -453,6 +468,9 @@ func specProvenance(spec Spec, sel []Experiment) map[string]string {
 	}
 	if spec.Backend != "" {
 		m["backend"] = spec.Backend
+	}
+	if spec.Scenario != nil {
+		m["scenario"] = spec.Scenario.Name
 	}
 	return m
 }
