@@ -89,6 +89,12 @@ import (
 )
 
 func main() {
+	// `dropsim campaign plan|run|merge` is the multi-process campaign
+	// fan-out flow; everything else is the classic flag-driven export.
+	if len(os.Args) > 1 && os.Args[1] == "campaign" {
+		campaignMain(os.Args[2:])
+		return
+	}
 	vp := flag.String("vp", "home1", "vantage point: "+strings.Join(cli.VantageNames(), ", "))
 	scale := flag.Float64("scale", 0.05, "population scale versus the paper")
 	seed := flag.Int64("seed", 42, "random seed")
@@ -105,8 +111,32 @@ func main() {
 	summary := flag.Bool("summary", false, "print streaming aggregates instead of trace records")
 	out := flag.String("o", "", "output file (default stdout)")
 	manifest := flag.String("manifest", "", "write a run manifest (stream hash, shard timings, telemetry snapshot) to this file")
+	checkpoint := flag.String("checkpoint", "", "campaign directory for per-shard checkpoint/resume (enables the multi-core campaign runner)")
+	resume := flag.Bool("resume", false, "continue a checkpointed campaign from where it stopped (requires -checkpoint)")
+	jobs := flag.Int("jobs", 0, "concurrent shard-range jobs for -checkpoint runs (0 = GOMAXPROCS; never changes output bytes)")
 	prof := cli.BindProfile(flag.CommandLine)
 	flag.Parse()
+
+	// The checkpointed campaign path owns serialization (parts + merge),
+	// so the stream-tee features cannot combine with it.
+	if *checkpoint != "" {
+		for _, bad := range []struct {
+			set  bool
+			flag string
+		}{
+			{*summary, "-summary"},
+			{*backendPreset != "", "-backend"},
+			{*scenarioPath != "", "-scenario"},
+		} {
+			if bad.set {
+				fmt.Fprintf(os.Stderr, "-checkpoint cannot combine with %s: the campaign runner exports from checkpointed parts, not a live stream\n", bad.flag)
+				os.Exit(2)
+			}
+		}
+	} else if *resume {
+		fmt.Fprintln(os.Stderr, "-resume requires -checkpoint")
+		os.Exit(2)
+	}
 
 	if *format != "csv" && *format != "binary" && *format != "binary-flate" {
 		fmt.Fprintf(os.Stderr, "unknown format %q (valid: csv, binary, binary-flate)\n", *format)
@@ -174,6 +204,14 @@ func main() {
 		os.Exit(2)
 	}
 	defer stopProf()
+
+	if *checkpoint != "" {
+		ctx, stop := cli.SignalContext()
+		defer stop()
+		spec := campaignSpec(*vp, *scale, *seed, *shards, *devScale, *profile, *format)
+		runCheckpointed(ctx, spec, *checkpoint, *out, *jobs, *resume, *manifest)
+		return
+	}
 
 	var w io.Writer = os.Stdout
 	if *out != "" {

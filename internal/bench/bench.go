@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"insidedropbox/internal/backend"
+	"insidedropbox/internal/campaign"
 	"insidedropbox/internal/capability"
 	"insidedropbox/internal/experiments"
 	"insidedropbox/internal/fleet"
@@ -112,6 +113,10 @@ type Options struct {
 type scenario struct {
 	name  string
 	setup func(quick bool)
+	// procs, when > 0, forces GOMAXPROCS for the measured region (restored
+	// afterwards) — the multi-core campaign scenarios pin 1 vs 8 so their
+	// ratio measures fan-out speedup, not whatever the host happens to be.
+	procs int
 	run   func(ctx context.Context, quick bool) (records, bytes int64)
 }
 
@@ -129,6 +134,8 @@ func catalogue() []scenario {
 		{name: "export/home1-8shard-binary-parallel", run: runExportBinaryParallel},
 		{name: "backend/saturation", setup: warmBackendArrivals, run: runBackendSaturation},
 		{name: "scenario/cohort-mix", setup: warmScenarioCompiled, run: runScenarioCohortMix},
+		{name: "campaign/home1-8shard-1core", procs: 1, run: runCampaign1Core},
+		{name: "campaign/home1-8shard-multicore", procs: 8, run: runCampaignMultiCore},
 	}
 }
 
@@ -194,6 +201,10 @@ func mbCol(r ScenarioResult) string {
 func measure(ctx context.Context, sc scenario, quick bool) ScenarioResult {
 	if sc.setup != nil {
 		sc.setup(quick)
+	}
+	if sc.procs > 0 {
+		old := runtime.GOMAXPROCS(sc.procs)
+		defer runtime.GOMAXPROCS(old)
 	}
 	runtime.GC()
 	var m0, m1 runtime.MemStats
@@ -612,6 +623,49 @@ func runScenarioCohortMix(ctx context.Context, quick bool) (int64, int64) {
 		n += int64(res.Stats.Records)
 	}
 	return n, 0
+}
+
+// runCampaign measures the checkpointing campaign runner end to end —
+// shard-range fan-out, per-shard checkpoint commits, and the canonical-
+// order merge into a binary export — at a pinned job count. Each rep runs
+// in a fresh directory so checkpoint resume never short-circuits the
+// measured work. The 1-core and multicore variants differ only in jobs
+// and the forced GOMAXPROCS (see the scenario's procs field); their
+// rec/s ratio is the fan-out speedup PERFORMANCE.md tracks.
+func runCampaign(ctx context.Context, quick bool, jobs int) (int64, int64) {
+	scale, reps := scalesFor(quick)
+	var recs, bytes int64
+	for i := 0; i < reps; i++ {
+		if ctx.Err() != nil {
+			break
+		}
+		dir, err := os.MkdirTemp("", "bench-campaign-")
+		if err != nil {
+			panic(err)
+		}
+		res, err := campaign.Run(ctx, campaign.Config{
+			Spec: campaign.Spec{VP: "home1", Scale: scale, Seed: benchSeed, Shards: 8, Format: "binary"},
+			Dir:  dir,
+			Jobs: jobs,
+		})
+		if err == nil {
+			recs += int64(res.Records)
+			bytes += res.ExportBytes
+		}
+		os.RemoveAll(dir)
+		if err != nil {
+			break
+		}
+	}
+	return recs, bytes
+}
+
+func runCampaign1Core(ctx context.Context, quick bool) (int64, int64) {
+	return runCampaign(ctx, quick, 1)
+}
+
+func runCampaignMultiCore(ctx context.Context, quick bool) (int64, int64) {
+	return runCampaign(ctx, quick, 8)
 }
 
 // ---------- persistence, discovery, comparison ----------

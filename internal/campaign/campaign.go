@@ -1,0 +1,627 @@
+// Package campaign is the process-level runner for continental-scale
+// trace campaigns: it splits one vantage-point campaign into independent
+// shard-range jobs, executes them across all cores (or across separate
+// processes via the plan/run/merge flow), and checkpoints per-shard
+// progress so an interrupted run resumes exactly where it stopped.
+//
+// The layout on disk is one campaign directory holding:
+//
+//   - parts/shard-NNNN.part — the shard's record stream in the binary
+//     columnar codec (full fidelity, never anonymized);
+//   - parts/shard-NNNN.state — the shard's ShardStats plus mergeable
+//     fleet.Summary aggregator state as JSON;
+//   - checkpoint.ckpt (and checkpoint-job-NNN.ckpt per planned job) —
+//     schema-versioned, CRC-guarded progress records listing completed
+//     shards with the size and FNV-1a hash of each artifact;
+//   - plan.ckpt — the shard-range job split for multi-process fan-out.
+//
+// Every checkpoint carries the campaign spec's fingerprint, so a
+// checkpoint from a different spec, a truncated file, a corrupted
+// payload, or a stale schema all fail loudly — there is no silent
+// partial resume. Writes are atomic (tmp + fsync + rename): a crash mid
+// checkpoint-write leaves the previous valid checkpoint plus a stray
+// .tmp that the next run ignores and overwrites.
+//
+// Determinism contract (EXPERIMENTS.md point 16): each shard's stream is
+// a pure function of (seed, shard, nshards) and parts are concatenated
+// in canonical shard order at merge time, so the job count, the process
+// count, GOMAXPROCS, and any kill/resume history never change a byte of
+// the final export — only wall-clock time. Summary aggregators are
+// restored per shard and folded left in shard-index order, matching
+// fleet.Aggregate exactly, so even floating-point aggregates are
+// bit-identical. The crash-injection suite pins all of this against the
+// legacy golden stream hashes.
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"insidedropbox/internal/capability"
+	"insidedropbox/internal/fleet"
+	"insidedropbox/internal/telemetry"
+	"insidedropbox/internal/traces"
+	"insidedropbox/internal/workload"
+)
+
+// Campaign telemetry: checkpoint events and resume provenance feed the
+// same counter registry every other subsystem reports through, so run
+// manifests pick them up without campaign-specific plumbing.
+var (
+	mCheckpoints   = telemetry.NewCounter("campaign.checkpoints_written")
+	mShardsResumed = telemetry.NewCounter("campaign.shards_resumed")
+	mShardRetries  = telemetry.NewCounter("campaign.shard_retries")
+	mMerges        = telemetry.NewCounter("campaign.merges")
+)
+
+// Spec defines a campaign. It is the identity the checkpoint fingerprint
+// derives from: two specs with equal fingerprints generate byte-identical
+// campaigns, so resuming under a changed spec is always an error.
+type Spec struct {
+	// VP names the vantage point (campus1, campus1-junjul, campus2,
+	// home1, home2).
+	VP string `json:"vp"`
+	// Scale is the population scale in percent of the paper's dataset.
+	Scale float64 `json:"scale"`
+	// Seed is the campaign's root random seed.
+	Seed int64 `json:"seed"`
+	// Shards partitions the population (part of the campaign identity,
+	// exactly as in fleet.Config).
+	Shards int `json:"shards"`
+	// DevicesScale multiplies the subscriber population; <=0 means 1.
+	DevicesScale float64 `json:"devices_scale,omitempty"`
+	// Profile optionally swaps in a capability profile by name.
+	Profile string `json:"profile,omitempty"`
+	// Format is the final export encoding: csv (default), binary, or
+	// binary-flate. Parts are always stored binary regardless.
+	Format string `json:"format,omitempty"`
+	// Anonymize replaces client addresses with stable opaque tokens in
+	// the final export (parts always keep full fidelity).
+	Anonymize bool `json:"anonymize,omitempty"`
+}
+
+// normalized fills defaults without validating.
+func (s Spec) normalized() Spec {
+	if s.DevicesScale <= 0 {
+		s.DevicesScale = 1
+	}
+	if s.Format == "" {
+		s.Format = "csv"
+	}
+	if s.Shards < 1 {
+		s.Shards = 1
+	}
+	return s
+}
+
+// validate checks the normalized spec resolves to a runnable campaign.
+func (s Spec) validate() error {
+	if _, err := s.vpConfig(); err != nil {
+		return err
+	}
+	if s.Scale <= 0 {
+		return fmt.Errorf("campaign: spec scale must be > 0 (got %g)", s.Scale)
+	}
+	if s.Shards > workload.MaxShards {
+		return fmt.Errorf("campaign: spec shards %d exceeds the maximum %d", s.Shards, workload.MaxShards)
+	}
+	switch s.Format {
+	case "csv", "binary", "binary-flate":
+	default:
+		return fmt.Errorf("campaign: unknown export format %q (csv, binary, binary-flate)", s.Format)
+	}
+	return nil
+}
+
+// vpConfig resolves the spec's vantage point and capability profile into
+// the scaled generation config.
+func (s Spec) vpConfig() (workload.VPConfig, error) {
+	var cfg workload.VPConfig
+	switch s.VP {
+	case "campus1":
+		cfg = workload.Campus1(s.Scale)
+	case "campus1-junjul":
+		cfg = workload.Campus1JunJul(s.Scale)
+	case "campus2":
+		cfg = workload.Campus2(s.Scale)
+	case "home1":
+		cfg = workload.Home1(s.Scale)
+	case "home2":
+		cfg = workload.Home2(s.Scale)
+	default:
+		return cfg, fmt.Errorf("campaign: unknown vantage point %q (campus1, campus1-junjul, campus2, home1, home2)", s.VP)
+	}
+	if s.Profile != "" {
+		p, ok := capability.ByName(s.Profile)
+		if !ok {
+			return cfg, fmt.Errorf("campaign: unknown capability profile %q (valid: %s)",
+				s.Profile, strings.Join(capability.Names(), ", "))
+		}
+		cfg.Caps = &p
+	}
+	return fleet.Config{DevicesScale: s.DevicesScale}.ScaledVP(cfg), nil
+}
+
+// Fingerprint is the campaign's identity hash: FNV-1a over the canonical
+// rendering of every spec field that affects generated bytes. Checkpoint
+// files embed it, and loaders reject any mismatch.
+func (s Spec) Fingerprint() string {
+	s = s.normalized()
+	h := fnv.New64a()
+	fmt.Fprintf(h, "campaign|v1|vp=%s|scale=%g|seed=%d|shards=%d|devscale=%g|profile=%s|format=%s|anon=%t",
+		s.VP, s.Scale, s.Seed, s.Shards, s.DevicesScale, s.Profile, s.Format, s.Anonymize)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Fingerprint hashes an arbitrary canonical identity string into the
+// 16-hex-digit form checkpoints embed — shared with the facade's
+// experiment-level checkpoints so every resume path validates identity
+// the same way.
+func Fingerprint(canonical string) string {
+	h := fnv.New64a()
+	io.WriteString(h, canonical)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Event reports campaign progress to a Config.Observer. Stages: "resume"
+// (a shard skipped because the checkpoint already records it), "shard"
+// (a shard generated and checkpointed), "retry" (a failed attempt about
+// to be retried, with Err and Attempt set), "merge" (the final export
+// committed). Events fire concurrently from job goroutines; observers
+// must be safe for concurrent use. Observation only — an observer never
+// changes campaign output.
+type Event struct {
+	Stage       string
+	Shard       int
+	Attempt     int
+	Records     int
+	Done, Total int
+	Err         error
+}
+
+// Config drives one campaign run.
+type Config struct {
+	Spec Spec
+	// Dir is the campaign directory (checkpoints and shard parts).
+	Dir string
+	// Out is the final export path; empty means Dir/export.<ext>.
+	Out string
+	// Jobs bounds how many shard-range jobs generate concurrently in
+	// this process; 0 means GOMAXPROCS. Jobs never changes results.
+	Jobs int
+	// Resume permits continuing from existing checkpoints. Without it,
+	// a directory that already holds checkpointed progress is an error —
+	// never a silent partial resume.
+	Resume bool
+	// Retries bounds per-shard retry attempts after a failure: 0 means
+	// the default (2 retries), negative disables retry entirely.
+	Retries int
+	// RetryBackoff is the first retry's delay, doubling per attempt;
+	// 0 means the default (100ms).
+	RetryBackoff time.Duration
+	// Observer, when non-nil, receives progress Events (see Event).
+	Observer func(Event)
+	// AfterShard, when non-nil, runs after a shard's checkpoint entry is
+	// durably committed — the hook process-kill harnesses attach to. It
+	// runs on job goroutines; observation only.
+	AfterShard func(shard int)
+
+	// crashAt injects a hard stop at a named stage for the
+	// crash-equivalence tests ("part", "state", "checkpoint-mid-write",
+	// "checkpoint", "merge-mid-write"). Test-only.
+	crashAt func(stage string, shard int)
+	// failShard injects a transient per-attempt failure for the retry
+	// tests. Test-only.
+	failShard func(shard, attempt int) error
+}
+
+func (c Config) retries() int {
+	switch {
+	case c.Retries < 0:
+		return 0
+	case c.Retries == 0:
+		return 2
+	default:
+		return c.Retries
+	}
+}
+
+func (c Config) backoff() time.Duration {
+	if c.RetryBackoff <= 0 {
+		return 100 * time.Millisecond
+	}
+	return c.RetryBackoff
+}
+
+// Result describes a completed campaign.
+type Result struct {
+	Spec        Spec
+	Records     int
+	ExportPath  string
+	ExportBytes int64
+	// StreamHash is the FNV-1a hash of the export bytes, formatted
+	// exactly like manifest stream hashes ("%016x").
+	StreamHash string
+	// Summary is the campaign's merged streaming aggregate, folded from
+	// per-shard states in canonical shard order.
+	Summary *fleet.Summary
+	// Stats is the merged generation ground truth.
+	Stats workload.ShardStats
+	// ResumedShards counts shards satisfied from checkpoints;
+	// GeneratedShards counts shards generated by this run.
+	ResumedShards, GeneratedShards int
+}
+
+// Run executes a campaign start to finish in this process: generate (or
+// resume) every shard across Jobs concurrent shard-range jobs, then merge
+// the parts in canonical shard order into the final export. Cancelling
+// ctx stops at shard granularity with all completed progress checkpointed
+// — rerunning with Resume picks up exactly where it stopped, and the
+// resumed export is byte-identical to an uninterrupted run.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	r, err := newRunner(cfg, checkpointName)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.generate(ctx, 0, r.spec.Shards, cfg.Jobs); err != nil {
+		return nil, err
+	}
+	return r.merge(ctx)
+}
+
+// runner holds one campaign process's state.
+type runner struct {
+	cfg  Config
+	spec Spec
+	vp   workload.VPConfig
+	fp   string
+
+	dir    string
+	ckPath string
+
+	mu      sync.Mutex
+	done    map[int]ShardDone // every known completed shard (all checkpoint files)
+	own     []ShardDone       // entries owned by ckPath, sorted by shard
+	resumed int
+	genned  int
+}
+
+// newRunner validates the spec, prepares the campaign directory, and
+// loads any existing checkpoints (enforcing the Resume gate).
+func newRunner(cfg Config, ckFile string) (*runner, error) {
+	spec := cfg.Spec.normalized()
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	vp, err := spec.vpConfig()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Dir == "" {
+		return nil, errors.New("campaign: config needs a campaign directory (Dir)")
+	}
+	if err := os.MkdirAll(filepath.Join(cfg.Dir, "parts"), 0o755); err != nil {
+		return nil, fmt.Errorf("campaign: preparing campaign directory: %w", err)
+	}
+	r := &runner{
+		cfg:    cfg,
+		spec:   spec,
+		vp:     vp,
+		fp:     spec.Fingerprint(),
+		dir:    cfg.Dir,
+		ckPath: filepath.Join(cfg.Dir, ckFile),
+		done:   make(map[int]ShardDone),
+	}
+	own, all, err := loadCheckpoints(cfg.Dir, ckFile, r.fp)
+	if err != nil {
+		return nil, err
+	}
+	if len(all) > 0 && !cfg.Resume {
+		return nil, fmt.Errorf("campaign: %s already holds checkpointed progress (%d shards); pass Resume to continue or use a fresh directory", cfg.Dir, len(all))
+	}
+	r.own = own
+	for _, e := range all {
+		if err := r.verifyArtifacts(e); err != nil {
+			return nil, err
+		}
+		r.done[e.Shard] = e
+	}
+	return r, nil
+}
+
+// verifyArtifacts checks a checkpointed shard's part and state files are
+// present with the recorded sizes — a cheap loud-failure gate at load
+// time; content hashes are verified as the bytes stream through merge.
+func (r *runner) verifyArtifacts(e ShardDone) error {
+	for _, f := range []struct {
+		path string
+		want int64
+	}{
+		{partPath(r.dir, e.Shard), e.PartBytes},
+		{statePath(r.dir, e.Shard), e.StateBytes},
+	} {
+		fi, err := os.Stat(f.path)
+		if err != nil {
+			return fmt.Errorf("campaign: checkpoint records shard %d complete but its artifact is missing: %w", e.Shard, err)
+		}
+		if fi.Size() != f.want {
+			return fmt.Errorf("campaign: shard %d artifact %s is %d bytes, checkpoint recorded %d — artifacts and checkpoint disagree",
+				e.Shard, filepath.Base(f.path), fi.Size(), f.want)
+		}
+	}
+	return nil
+}
+
+func (r *runner) observe(ev Event) {
+	if r.cfg.Observer != nil {
+		ev.Total = r.spec.Shards
+		r.cfg.Observer(ev)
+	}
+}
+
+func (r *runner) crash(stage string, shard int) {
+	if r.cfg.crashAt != nil {
+		r.cfg.crashAt(stage, shard)
+	}
+}
+
+// generate runs every not-yet-done shard in [lo, hi) across jobs
+// concurrent shard-range workers.
+func (r *runner) generate(ctx context.Context, lo, hi, jobs int) error {
+	var pending []int
+	for sh := lo; sh < hi; sh++ {
+		if e, ok := r.doneEntry(sh); ok {
+			// Resumed means "this run's range, satisfied from checkpoint" —
+			// sibling jobs' progress elsewhere in the directory is not ours.
+			r.resumed++
+			mShardsResumed.Inc()
+			r.observe(Event{Stage: "resume", Shard: sh, Records: e.Records, Done: r.doneCount()})
+			continue
+		}
+		pending = append(pending, sh)
+	}
+	if len(pending) == 0 {
+		return ctx.Err()
+	}
+
+	var (
+		failMu  sync.Mutex
+		failErr error
+	)
+	fail := func(err error) {
+		failMu.Lock()
+		if failErr == nil {
+			failErr = err
+		}
+		failMu.Unlock()
+	}
+	failed := func() bool {
+		failMu.Lock()
+		defer failMu.Unlock()
+		return failErr != nil
+	}
+
+	var wg sync.WaitGroup
+	for _, jb := range fleet.SplitJobs(len(pending), jobs) {
+		wg.Add(1)
+		go func(jb fleet.ShardJob) {
+			defer wg.Done()
+			for i := jb.Lo; i < jb.Hi; i++ {
+				if ctx.Err() != nil || failed() {
+					return
+				}
+				if err := r.runShardWithRetry(ctx, pending[i]); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}(jb)
+	}
+	wg.Wait()
+	failMu.Lock()
+	err := failErr
+	failMu.Unlock()
+	if err != nil {
+		return err
+	}
+	return ctx.Err()
+}
+
+func (r *runner) doneEntry(sh int) (ShardDone, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.done[sh]
+	return e, ok
+}
+
+func (r *runner) doneCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.done)
+}
+
+// runShardWithRetry is the bounded-retry wrapper around one shard's
+// generation: transient failures (sink IO, injected faults) back off and
+// retry up to Config.Retries times; a cancelled ctx never retries.
+func (r *runner) runShardWithRetry(ctx context.Context, sh int) error {
+	retries := r.cfg.retries()
+	for attempt := 0; ; attempt++ {
+		err := r.runShardOnce(sh, attempt)
+		if err == nil {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if attempt >= retries {
+			return fmt.Errorf("campaign: shard %d failed after %d attempts: %w", sh, attempt+1, err)
+		}
+		mShardRetries.Inc()
+		r.observe(Event{Stage: "retry", Shard: sh, Attempt: attempt + 1, Err: err})
+		select {
+		case <-time.After(r.cfg.backoff() << attempt):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// runShardOnce generates one shard into its part and state files and
+// commits a checkpoint entry. Every artifact lands atomically (tmp +
+// fsync + rename), so a crash at any point leaves either the previous
+// state or the complete new one — never a torn file.
+func (r *runner) runShardOnce(sh, attempt int) (err error) {
+	if r.cfg.failShard != nil {
+		if ferr := r.cfg.failShard(sh, attempt); ferr != nil {
+			return ferr
+		}
+	}
+
+	part := partPath(r.dir, sh)
+	partHash := fnv.New64a()
+	var partBytes int64
+	var st workload.ShardStats
+	sum := fleet.NewSummary(r.vp.Days)
+	err = writeFileAtomicFunc(part, func(f *os.File) error {
+		cw := &countWriter{w: io.MultiWriter(f, partHash), n: &partBytes}
+		bw := traces.NewBinaryWriter(cw)
+		ws := &fleet.WriterSink{W: bw}
+		st = fleet.RunShard(r.vp, r.spec.Seed, sh, r.spec.Shards, sinkPair{ws, sum})
+		if ws.Err != nil {
+			return ws.Err
+		}
+		return bw.Flush()
+	})
+	if err != nil {
+		return fmt.Errorf("campaign: shard %d part: %w", sh, err)
+	}
+	r.crash("part", sh)
+
+	stateBytes, stateHash, err := writeShardState(statePath(r.dir, sh), st, sum)
+	if err != nil {
+		return fmt.Errorf("campaign: shard %d state: %w", sh, err)
+	}
+	r.crash("state", sh)
+
+	entry := ShardDone{
+		Shard:      sh,
+		Records:    st.Records,
+		PartBytes:  partBytes,
+		PartHash:   fmt.Sprintf("%016x", partHash.Sum64()),
+		StateBytes: stateBytes,
+		StateHash:  stateHash,
+	}
+	if err := r.commit(sh, entry); err != nil {
+		return err
+	}
+	r.crash("checkpoint", sh)
+	if r.cfg.AfterShard != nil {
+		r.cfg.AfterShard(sh)
+	}
+	r.observe(Event{Stage: "shard", Shard: sh, Records: st.Records, Done: r.doneCount()})
+	return nil
+}
+
+// commit records a completed shard in the runner's checkpoint file.
+func (r *runner) commit(sh int, e ShardDone) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.done[sh] = e
+	r.genned++
+	r.own = append(r.own, e)
+	sort.Slice(r.own, func(i, j int) bool { return r.own[i].Shard < r.own[j].Shard })
+	body := checkpointBody{
+		Schema:      CheckpointSchema,
+		Kind:        kindShards,
+		Fingerprint: r.fp,
+		Spec:        &r.spec,
+		Shards:      r.own,
+	}
+	if err := saveCheckpoint(r.ckPath, body, func(f *os.File) {
+		r.crash("checkpoint-mid-write", sh)
+		_ = f
+	}); err != nil {
+		return fmt.Errorf("campaign: shard %d checkpoint: %w", sh, err)
+	}
+	mCheckpoints.Inc()
+	return nil
+}
+
+// sinkPair fans one shard's pooled record stream into the part writer
+// and the streaming summary. Both consumers copy what they keep, so the
+// pooled ownership rules hold.
+type sinkPair struct {
+	w   *fleet.WriterSink
+	sum *fleet.Summary
+}
+
+func (p sinkPair) Consume(rec *traces.FlowRecord) {
+	p.w.Consume(rec)
+	p.sum.Consume(rec)
+}
+
+// countWriter counts bytes written through it.
+type countWriter struct {
+	w io.Writer
+	n *int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	*c.n += int64(n)
+	return n, err
+}
+
+// hashReader hashes and counts everything read through it.
+type hashReader struct {
+	r io.Reader
+	h hash.Hash64
+	n int64
+}
+
+func (h *hashReader) Read(p []byte) (int, error) {
+	n, err := h.r.Read(p)
+	if n > 0 {
+		h.h.Write(p[:n])
+		h.n += int64(n)
+	}
+	return n, err
+}
+
+// Paths inside a campaign directory.
+
+const checkpointName = "checkpoint.ckpt"
+
+func partPath(dir string, sh int) string {
+	return filepath.Join(dir, "parts", fmt.Sprintf("shard-%04d.part", sh))
+}
+
+func statePath(dir string, sh int) string {
+	return filepath.Join(dir, "parts", fmt.Sprintf("shard-%04d.state", sh))
+}
+
+func jobCheckpointName(job int) string {
+	return fmt.Sprintf("checkpoint-job-%03d.ckpt", job)
+}
+
+// ExportExt maps a spec format to the conventional export extension.
+func ExportExt(format string) string {
+	switch format {
+	case "binary":
+		return ".idb"
+	case "binary-flate":
+		return ".idbf"
+	default:
+		return ".csv"
+	}
+}

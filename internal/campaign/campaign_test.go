@@ -1,0 +1,229 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"insidedropbox/internal/fleet"
+	"insidedropbox/internal/workload"
+)
+
+// goldenCampaigns mirrors the five legacy golden stream hashes pinned in
+// internal/workload's TestRecordStreamGolden: a campaign's merged CSV
+// export (non-anonymized) must reproduce them bit for bit on every path
+// — fresh, resumed, multi-job, multi-process. The hashes are the FNV-1a
+// of the serialized stream, formatted as manifests format them.
+var goldenCampaigns = []struct {
+	name string
+	spec Spec
+	want string
+}{
+	{"home1-1shard", Spec{VP: "home1", Scale: 0.02, Seed: 7, Shards: 1}, "d01117eb3a234b9d"},
+	{"home1-4shard", Spec{VP: "home1", Scale: 0.02, Seed: 7, Shards: 4}, "1887b88d5f86bad5"},
+	{"home2-abnormal-1shard", Spec{VP: "home2", Scale: 0.02, Seed: 9, Shards: 1}, "a59024c1345e9efb"},
+	{"campus1-1shard", Spec{VP: "campus1", Scale: 0.1, Seed: 7, Shards: 1}, "6e788bc7931c6666"},
+	{"campus1-bigchunks-1shard", Spec{VP: "campus1", Scale: 0.1, Seed: 7, Shards: 1, Profile: "big-chunks-16mb"}, "5ffb4eb3ba85ad2b"},
+}
+
+func mustRun(t *testing.T, cfg Config) *Result {
+	t.Helper()
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("campaign run: %v", err)
+	}
+	return res
+}
+
+func readExport(t *testing.T, res *Result) []byte {
+	t.Helper()
+	data, err := os.ReadFile(res.ExportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestCampaignGolden pins the campaign runner to the legacy golden
+// stream hashes: generating through per-shard part files and merging in
+// canonical order must be byte-equivalent to the direct generation path.
+func TestCampaignGolden(t *testing.T) {
+	for _, tc := range goldenCampaigns {
+		t.Run(tc.name, func(t *testing.T) {
+			res := mustRun(t, Config{Spec: tc.spec, Dir: t.TempDir(), Jobs: 2})
+			if res.StreamHash != tc.want {
+				t.Fatalf("campaign export hash = %s, want %s", res.StreamHash, tc.want)
+			}
+			if res.GeneratedShards != tc.spec.normalized().Shards || res.ResumedShards != 0 {
+				t.Fatalf("fresh run generated %d / resumed %d shards, want %d / 0",
+					res.GeneratedShards, res.ResumedShards, tc.spec.normalized().Shards)
+			}
+			if res.Records != res.Stats.Records {
+				t.Fatalf("export carries %d records, generation stats say %d", res.Records, res.Stats.Records)
+			}
+		})
+	}
+}
+
+// TestCampaignSummaryMatchesSingleProcess pins the split-state aggregator
+// path: per-shard Summary states restored from disk and folded in shard
+// order must reproduce the single-process fleet.Summarize aggregate
+// exactly, floating point included.
+func TestCampaignSummaryMatchesSingleProcess(t *testing.T) {
+	spec := Spec{VP: "home1", Scale: 0.02, Seed: 7, Shards: 4}
+	res := mustRun(t, Config{Spec: spec, Dir: t.TempDir(), Jobs: 4})
+
+	vp, err := spec.normalized().vpConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, stats, err := fleet.Summarize(context.Background(), vp, spec.Seed, fleet.Config{Shards: spec.Shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Records != res.Records {
+		t.Fatalf("record counts diverge: campaign %d, direct %d", res.Records, stats.Records)
+	}
+	want, got := direct.Metrics(), res.Summary.Metrics()
+	for k, w := range want {
+		if g, ok := got[k]; !ok || g != w {
+			t.Fatalf("summary metric %q = %v, direct path computed %v", k, got[k], w)
+		}
+	}
+}
+
+// TestCampaignRetryConvergence covers the bounded-retry fix: a shard
+// that fails transiently must converge to the same golden hash, and a
+// shard that keeps failing must exhaust its attempts loudly.
+func TestCampaignRetryConvergence(t *testing.T) {
+	spec := Spec{VP: "home1", Scale: 0.02, Seed: 7, Shards: 4}
+
+	attempts := make(map[int]int)
+	res := mustRun(t, Config{
+		Spec: spec, Dir: t.TempDir(), Jobs: 1,
+		Retries: 2, RetryBackoff: 1,
+		failShard: func(sh, attempt int) error {
+			attempts[sh]++
+			if sh == 2 && attempt < 2 {
+				return fmt.Errorf("injected transient failure (attempt %d)", attempt)
+			}
+			return nil
+		},
+	})
+	if want := "1887b88d5f86bad5"; res.StreamHash != want {
+		t.Fatalf("export hash after retries = %s, want %s", res.StreamHash, want)
+	}
+	if attempts[2] != 3 {
+		t.Fatalf("shard 2 ran %d attempts, want 3", attempts[2])
+	}
+
+	_, err := Run(context.Background(), Config{
+		Spec: spec, Dir: t.TempDir(), Jobs: 1,
+		Retries: 1, RetryBackoff: 1,
+		failShard: func(sh, attempt int) error {
+			if sh == 1 {
+				return errors.New("injected permanent failure")
+			}
+			return nil
+		},
+	})
+	if err == nil || !strings.Contains(err.Error(), "after 2 attempts") {
+		t.Fatalf("permanently failing shard: err = %v, want attempt-exhaustion error", err)
+	}
+}
+
+// TestCampaignResumeAfterCancel exercises the soft-interruption path: a
+// context cancelled mid-generation leaves checkpointed progress, and a
+// resumed run completes to the golden hash without regenerating the
+// finished shards.
+func TestCampaignResumeAfterCancel(t *testing.T) {
+	spec := Spec{VP: "home1", Scale: 0.02, Seed: 7, Shards: 4}
+	dir := t.TempDir()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := 0
+	_, err := Run(ctx, Config{
+		Spec: spec, Dir: dir, Jobs: 1,
+		AfterShard: func(int) {
+			done++
+			if done == 2 {
+				cancel()
+			}
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run: err = %v, want context.Canceled", err)
+	}
+
+	res := mustRun(t, Config{Spec: spec, Dir: dir, Jobs: 2, Resume: true})
+	if want := "1887b88d5f86bad5"; res.StreamHash != want {
+		t.Fatalf("resumed export hash = %s, want %s", res.StreamHash, want)
+	}
+	if res.ResumedShards == 0 || res.ResumedShards+res.GeneratedShards != 4 {
+		t.Fatalf("resumed %d + generated %d shards, want them to partition 4 with a non-empty resume",
+			res.ResumedShards, res.GeneratedShards)
+	}
+}
+
+// TestCampaignSpecValidation covers the loud-failure surface of spec
+// resolution.
+func TestCampaignSpecValidation(t *testing.T) {
+	base := Spec{VP: "home1", Scale: 0.02, Seed: 7, Shards: 1}
+	cases := []struct {
+		name string
+		mut  func(*Spec)
+		want string
+	}{
+		{"unknown vp", func(s *Spec) { s.VP = "mars1" }, "unknown vantage point"},
+		{"zero scale", func(s *Spec) { s.Scale = 0 }, "scale must be > 0"},
+		{"bad format", func(s *Spec) { s.Format = "xml" }, "unknown export format"},
+		{"bad profile", func(s *Spec) { s.Profile = "quantum" }, "unknown capability profile"},
+		{"too many shards", func(s *Spec) { s.Shards = workload.MaxShards + 1 }, "exceeds the maximum"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := base
+			tc.mut(&spec)
+			_, err := Run(context.Background(), Config{Spec: spec, Dir: t.TempDir()})
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+	if _, err := Run(context.Background(), Config{Spec: base}); err == nil || !strings.Contains(err.Error(), "campaign directory") {
+		t.Fatalf("missing Dir: err = %v, want directory error", err)
+	}
+}
+
+// TestFingerprintSensitivity: every byte-affecting spec field must move
+// the fingerprint, and normalization-equivalent specs must share it.
+func TestFingerprintSensitivity(t *testing.T) {
+	base := Spec{VP: "home1", Scale: 0.02, Seed: 7, Shards: 4}
+	fp := base.Fingerprint()
+	muts := []func(*Spec){
+		func(s *Spec) { s.VP = "home2" },
+		func(s *Spec) { s.Scale = 0.03 },
+		func(s *Spec) { s.Seed = 8 },
+		func(s *Spec) { s.Shards = 8 },
+		func(s *Spec) { s.DevicesScale = 2 },
+		func(s *Spec) { s.Profile = "big-chunks-16mb" },
+		func(s *Spec) { s.Format = "binary" },
+		func(s *Spec) { s.Anonymize = true },
+	}
+	for i, mut := range muts {
+		spec := base
+		mut(&spec)
+		if spec.Fingerprint() == fp {
+			t.Fatalf("mutation %d did not change the fingerprint", i)
+		}
+	}
+	norm := base
+	norm.DevicesScale = 1
+	norm.Format = "csv"
+	if norm.Fingerprint() != fp {
+		t.Fatal("normalization-equivalent specs must share a fingerprint")
+	}
+}

@@ -1,0 +1,64 @@
+package campaign
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzCheckpointDecode hammers the checkpoint loader with arbitrary
+// bytes: it must return errors, never panic, and anything it accepts
+// must re-encode to a frame it accepts again with identical content
+// (decode/encode/decode is the identity on the valid subset). Checkpoint
+// files cross process and machine boundaries in the multi-process flow,
+// so the loader is an input-validation surface, not just a codec.
+func FuzzCheckpointDecode(f *testing.F) {
+	seed := func(body checkpointBody) {
+		payload, err := json.Marshal(body)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(encodeEnvelope(payload))
+	}
+	spec := Spec{VP: "home1", Scale: 0.02, Seed: 7, Shards: 4}
+	seed(checkpointBody{
+		Schema: CheckpointSchema, Kind: kindShards, Fingerprint: spec.Fingerprint(), Spec: &spec,
+		Shards: []ShardDone{{Shard: 0, Records: 123, PartBytes: 4567, PartHash: "00c0ffee00c0ffee", StateBytes: 89, StateHash: "00deadbeef000000"}},
+	})
+	seed(checkpointBody{
+		Schema: CheckpointSchema, Kind: kindPlan, Fingerprint: spec.Fingerprint(), Spec: &spec,
+		Jobs: [][2]int{{0, 2}, {2, 4}},
+	})
+	seed(checkpointBody{
+		Schema: CheckpointSchema, Kind: kindResults, Fingerprint: Fingerprint("run|seed=7"),
+		Results: []ResultEntry{{ID: "table3", Result: json.RawMessage(`{"n":42}`)}},
+	})
+	// Hostile shapes: truncation, non-checkpoint, torn header, bad CRC.
+	f.Add([]byte(""))
+	f.Add([]byte("IDCP1"))
+	f.Add([]byte("IDCP1 00000000 0\n"))
+	f.Add([]byte("IDCP1 deadbeef 4\n{}"))
+	f.Add([]byte("IDCP9 00000000 2\n{}"))
+	f.Add([]byte("not a checkpoint at all\njust bytes"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		body, err := decodeCheckpoint(data, "", "")
+		if err != nil {
+			return // rejected loudly: that is the contract
+		}
+		payload, err := json.Marshal(body)
+		if err != nil {
+			t.Fatalf("accepted body failed to re-marshal: %v", err)
+		}
+		again, err := decodeCheckpoint(encodeEnvelope(payload), body.Kind, body.Fingerprint)
+		if err != nil {
+			t.Fatalf("re-encoded checkpoint rejected: %v", err)
+		}
+		p2, err := json.Marshal(again)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(payload) != string(p2) {
+			t.Fatalf("decode/encode/decode is not the identity:\n%s\nvs\n%s", payload, p2)
+		}
+	})
+}

@@ -1,0 +1,94 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// ResultsCheckpoint persists completed experiment results between runs —
+// the facade's experiment-granularity resume. It reuses the guarded
+// checkpoint envelope (schema, CRC, fingerprint), so a results file from
+// a different run configuration fails loudly instead of replaying stale
+// results into a changed campaign.
+type ResultsCheckpoint struct {
+	path string
+	fp   string
+
+	entries []ResultEntry
+	byID    map[string]json.RawMessage
+}
+
+// OpenResultsCheckpoint opens (or initializes) a results checkpoint at
+// path for a run whose identity hashes to fingerprint. When the file
+// exists, resume must be set — pre-existing results without an explicit
+// resume is an error, mirroring the shard runner's gate.
+func OpenResultsCheckpoint(path, fingerprint string, resume bool) (*ResultsCheckpoint, error) {
+	c := &ResultsCheckpoint{path: path, fp: fingerprint, byID: make(map[string]json.RawMessage)}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return c, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("campaign: results checkpoint: %w", err)
+	}
+	if !resume {
+		return nil, fmt.Errorf("campaign: %s already holds checkpointed results; resume explicitly or remove it", path)
+	}
+	body, err := decodeCheckpoint(data, kindResults, fingerprint)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: %s: %w", path, err)
+	}
+	c.entries = body.Results
+	for _, e := range body.Results {
+		c.byID[e.ID] = e.Result
+	}
+	return c, nil
+}
+
+// Len returns the number of stored results.
+func (c *ResultsCheckpoint) Len() int { return len(c.entries) }
+
+// Lookup unmarshals the stored result for id into out, reporting whether
+// one exists.
+func (c *ResultsCheckpoint) Lookup(id string, out any) (bool, error) {
+	raw, ok := c.byID[id]
+	if !ok {
+		return false, nil
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return false, fmt.Errorf("campaign: results checkpoint entry %q: %w", id, err)
+	}
+	return true, nil
+}
+
+// Record stores one experiment's result and persists the checkpoint
+// atomically — after Record returns, a killed run resumes past this
+// experiment.
+func (c *ResultsCheckpoint) Record(id string, v any) error {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("campaign: serializing result %q: %w", id, err)
+	}
+	if _, ok := c.byID[id]; !ok {
+		c.entries = append(c.entries, ResultEntry{ID: id, Result: raw})
+	} else {
+		for i := range c.entries {
+			if c.entries[i].ID == id {
+				c.entries[i].Result = raw
+			}
+		}
+	}
+	c.byID[id] = raw
+	body := checkpointBody{
+		Schema:      CheckpointSchema,
+		Kind:        kindResults,
+		Fingerprint: c.fp,
+		Results:     c.entries,
+	}
+	if err := saveCheckpoint(c.path, body, nil); err != nil {
+		return fmt.Errorf("campaign: results checkpoint: %w", err)
+	}
+	mCheckpoints.Inc()
+	return nil
+}

@@ -45,6 +45,9 @@ type SpecFlags struct {
 	backend    *string
 	scenario   *string
 	out        *string
+	checkpoint *string
+	resume     *bool
+	jobs       *int
 }
 
 // BindSpec registers the shared campaign flags on fs.
@@ -63,22 +66,34 @@ func BindSpec(fs *flag.FlagSet) *SpecFlags {
 			"comma-separated capability profiles for the what-if lab (first = baseline; setting this opts the lab in)"),
 		backend: fs.String("backend", "", "run the backend capacity lab under this preset ("+
 			strings.Join(insidedropbox.BackendPresets(), "|")+"; setting this opts the lab in)"),
-		scenario: fs.String("scenario", "", "run the scenario/* experiments under this declarative spec file (setting this opts them in)"),
-		out:      fs.String("out", "results", "output directory for rendered results"),
+		scenario:   fs.String("scenario", "", "run the scenario/* experiments under this declarative spec file (setting this opts them in)"),
+		out:        fs.String("out", "results", "output directory for rendered results"),
+		checkpoint: fs.String("checkpoint", "", "record each experiment's result to this file as it completes, enabling -resume"),
+		resume:     fs.Bool("resume", false, "load results already recorded in -checkpoint instead of recomputing them"),
+		jobs:       fs.Int("jobs", 0, "alias for -workers: concurrent shard workers (0 = GOMAXPROCS; never changes results)"),
 	}
 }
 
 // Spec resolves the parsed flags into a Spec (profile parsing errors
 // surface here, after flag.Parse).
 func (f *SpecFlags) Spec() (insidedropbox.Spec, error) {
+	workers := *f.workers
+	if workers == 0 {
+		workers = *f.jobs
+	}
 	spec := insidedropbox.Spec{
 		Seed:       *f.seed,
 		Quick:      *f.quick,
 		SkipPacket: *f.skipPacket,
-		Fleet:      insidedropbox.FleetConfig{Shards: *f.shards, Workers: *f.workers},
+		Fleet:      insidedropbox.FleetConfig{Shards: *f.shards, Workers: workers},
 		FleetScale: *f.fleetScale,
 		Backend:    *f.backend,
 		ResultsDir: *f.out,
+		Checkpoint: *f.checkpoint,
+		Resume:     *f.resume,
+	}
+	if *f.resume && *f.checkpoint == "" {
+		return spec, errors.New("-resume requires -checkpoint")
 	}
 	if *f.scenario != "" {
 		sp, err := insidedropbox.LoadScenario(*f.scenario)

@@ -1,0 +1,217 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"insidedropbox/internal/traces"
+	"insidedropbox/internal/workload"
+)
+
+// TestSplitJobsCoverage: every split covers each shard exactly once with
+// contiguous, balanced, non-empty ranges — including the degenerate
+// jobs > shards and sub-1 inputs.
+func TestSplitJobsCoverage(t *testing.T) {
+	for _, tc := range []struct{ shards, jobs, wantJobs int }{
+		{8, 1, 1}, {8, 2, 2}, {8, 3, 3}, {8, 8, 8},
+		{8, 16, 8}, // jobs capped at shards
+		{5, 3, 3},  // uneven split
+		{1, 4, 1},  // single shard
+		{0, 0, 1},  // clamped to 1 shard, 1 job
+		{7, -2, 1}, // negative jobs clamps to 1
+		{-3, 5, 1}, // negative shards clamps to 1
+	} {
+		jobs := SplitJobs(tc.shards, tc.jobs)
+		if len(jobs) != tc.wantJobs {
+			t.Fatalf("SplitJobs(%d, %d) = %d jobs, want %d", tc.shards, tc.jobs, len(jobs), tc.wantJobs)
+		}
+		shards := tc.shards
+		if shards < 1 {
+			shards = 1
+		}
+		next, maxSize, minSize := 0, 0, shards+1
+		for i, j := range jobs {
+			if j.Job != i {
+				t.Fatalf("SplitJobs(%d, %d): job %d labeled %d", tc.shards, tc.jobs, i, j.Job)
+			}
+			if j.Lo != next || j.Hi <= j.Lo {
+				t.Fatalf("SplitJobs(%d, %d): job %d range [%d, %d) not contiguous from %d",
+					tc.shards, tc.jobs, i, j.Lo, j.Hi, next)
+			}
+			if s := j.Shards(); s > maxSize {
+				maxSize = s
+			} else if s < minSize {
+				minSize = s
+			}
+			next = j.Hi
+		}
+		if next != shards {
+			t.Fatalf("SplitJobs(%d, %d): ranges end at %d, want %d", tc.shards, tc.jobs, next, shards)
+		}
+		if len(jobs) > 1 && maxSize-minSize > 1 {
+			t.Fatalf("SplitJobs(%d, %d): unbalanced split (sizes %d..%d)", tc.shards, tc.jobs, minSize, maxSize)
+		}
+	}
+}
+
+// csvHashSink hashes the CSV serialization of a pooled record stream —
+// safe under pooling because nothing is retained past Consume.
+type csvHashSink struct {
+	w *traces.Writer
+	n int
+}
+
+func (s *csvHashSink) Consume(r *traces.FlowRecord) {
+	if err := s.w.Write(r); err != nil {
+		panic(err)
+	}
+	s.n++
+}
+
+// TestRunShardMatchesGenerateShard: the pooled single-shard primitive
+// emits the same stream as the unpooled workload.GenerateShard, shard by
+// shard, with identical stats.
+func TestRunShardMatchesGenerateShard(t *testing.T) {
+	vp := Config{}.ScaledVP(workload.Home1(0.02))
+	const shards = 4
+	for shard := 0; shard < shards; shard++ {
+		pooledHash := fnv.New64a()
+		sink := &csvHashSink{w: traces.NewWriter(pooledHash)}
+		st := RunShard(vp, 7, shard, shards, sink)
+		if err := sink.w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+
+		plainHash := fnv.New64a()
+		w := traces.NewWriter(plainHash)
+		n := 0
+		legacy := workload.GenerateShard(vp, 7, shard, shards, func(r *traces.FlowRecord) {
+			if err := w.Write(r); err != nil {
+				t.Fatal(err)
+			}
+			n++
+		})
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+
+		if got, want := fmt.Sprintf("%016x", pooledHash.Sum64()), fmt.Sprintf("%016x", plainHash.Sum64()); got != want {
+			t.Fatalf("shard %d: pooled stream hash %s, unpooled %s", shard, got, want)
+		}
+		if sink.n != n || !reflect.DeepEqual(st, legacy) {
+			t.Fatalf("shard %d: stats differ: pooled %+v (%d recs) vs %+v (%d recs)", shard, st, sink.n, legacy, n)
+		}
+	}
+}
+
+// TestAfterShardHookAbort: an AfterShard error aborts the run at shard
+// granularity and surfaces wrapped; a nil-returning hook is invisible to
+// the output contract.
+func TestAfterShardHookAbort(t *testing.T) {
+	vp := workload.Home1(0.02)
+	boom := errors.New("checkpoint disk full")
+
+	t.Run("aggregate", func(t *testing.T) {
+		var fired atomic.Int32
+		fc := Config{Shards: 4, Workers: 2, AfterShard: func(ev ShardEvent) error {
+			if fired.Add(1) == 1 {
+				return boom
+			}
+			return nil
+		}}
+		_, _, err := Summarize(context.Background(), vp, 7, fc)
+		if err == nil || !errors.Is(err, boom) || !strings.Contains(err.Error(), "completion hook") {
+			t.Fatalf("err = %v, want wrapped %v", err, boom)
+		}
+	})
+
+	t.Run("stream", func(t *testing.T) {
+		fc := Config{Shards: 4, Workers: 2, AfterShard: func(ev ShardEvent) error {
+			if ev.Shard == 1 {
+				return boom
+			}
+			return nil
+		}}
+		_, err := StreamRecords(context.Background(), vp, 7, fc, func(r *traces.FlowRecord) bool { return true })
+		if err == nil || !errors.Is(err, boom) {
+			t.Fatalf("stream err = %v, want wrapped %v", err, boom)
+		}
+	})
+
+	t.Run("nil-error hook is invisible", func(t *testing.T) {
+		fc := Config{Shards: 4, Workers: 2}
+		base, _ := mustSummarize(t, vp, 7, fc)
+		var seen atomic.Int32
+		fc.AfterShard = func(ShardEvent) error { seen.Add(1); return nil }
+		hooked, _ := mustSummarize(t, vp, 7, fc)
+		if seen.Load() != 4 {
+			t.Fatalf("hook fired %d times, want 4", seen.Load())
+		}
+		if !reflect.DeepEqual(base.Metrics(), hooked.Metrics()) {
+			t.Fatal("a nil-returning AfterShard hook changed the aggregate")
+		}
+	})
+}
+
+// TestSummaryStateRoundTrip: Summary → State → JSON → Summary reproduces
+// every metric exactly, and folding restored per-shard states in shard
+// order matches the direct aggregation — the contract the campaign merge
+// leans on for bit-identical floats.
+func TestSummaryStateRoundTrip(t *testing.T) {
+	vp := workload.Home1(0.02)
+	const shards = 4
+	direct, _ := mustSummarize(t, vp, 7, Config{Shards: shards, Workers: 2})
+
+	// Capture each shard's summary independently, as a campaign job would.
+	var states []*SummaryState
+	for shard := 0; shard < shards; shard++ {
+		sum := NewSummary(vp.Days)
+		RunShard(Config{}.ScaledVP(vp), 7, shard, shards, sum)
+		st := sum.State()
+		data, err := json.Marshal(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back SummaryState
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatal(err)
+		}
+		restored, err := back.Summary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(sum.Metrics(), restored.Metrics()) {
+			t.Fatalf("shard %d: metrics changed across the JSON round-trip", shard)
+		}
+		states = append(states, &back)
+	}
+
+	// Left-fold in shard order, exactly like the campaign merge.
+	folded, err := states[0].Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range states[1:] {
+		s, err := st.Summary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		folded.Merge(s)
+	}
+	got, want := folded.Metrics(), direct.Metrics()
+	if !reflect.DeepEqual(got, want) {
+		for k, w := range want {
+			if g := got[k]; g != w {
+				t.Errorf("metric %q: folded %v, direct %v", k, g, w)
+			}
+		}
+		t.Fatal("folded per-shard states do not reproduce the direct aggregate")
+	}
+}

@@ -91,7 +91,8 @@ func StreamRecords(ctx context.Context, vp workload.VPConfig, seed int64, fc Con
 				ch := chans[sh]
 				dropping := false
 				stalls := 0
-				stats[sh] = tracker.run(sh, func() workload.ShardStats {
+				var hookErr error
+				stats[sh], hookErr = tracker.run(sh, func() workload.ShardStats {
 					return workload.GenerateShard(vp, seed, sh, fc.Shards, func(r *traces.FlowRecord) {
 						if dropping {
 							return
@@ -117,16 +118,27 @@ func StreamRecords(ctx context.Context, vp workload.VPConfig, seed int64, fc Con
 				if stalls > 0 {
 					mStreamStalls.Add(uint64(stalls))
 				}
+				if hookErr != nil {
+					// Latch only — teardown stays consumer-driven (the
+					// consumer notices the abort at its next check and
+					// calls halt), so the dispatcher/window protocol keeps
+					// its invariant that every awaited channel gets closed.
+					tracker.abort(hookErr)
+				}
 				close(ch)
 			}
 		}()
 	}
 	// finish tears the pipeline down (halt is a no-op on the natural-
 	// completion path) and waits for every worker to exit before stats
-	// are merged — workers write stats[sh] until then.
+	// are merged — workers write stats[sh] until then. A latched
+	// AfterShard hook error takes precedence over the caller's reason.
 	finish := func(err error) (VPStats, error) {
 		halt()
 		wg.Wait()
+		if hookErr := tracker.abortErr(); hookErr != nil {
+			err = hookErr
+		}
 		return mergeStats(vp, fc, stats), err
 	}
 
@@ -135,6 +147,9 @@ func StreamRecords(ctx context.Context, vp workload.VPConfig, seed int64, fc Con
 		if ctx.Err() != nil {
 			return finish(ctx.Err())
 		}
+		if tracker.aborted() {
+			return finish(nil) // finish surfaces the latched hook error
+		}
 		for r := range chans[sh] {
 			if n&ctxCheckMask == 0 {
 				// Sampled at the ctx-poll cadence so the depth gauge
@@ -142,6 +157,9 @@ func StreamRecords(ctx context.Context, vp workload.VPConfig, seed int64, fc Con
 				mStreamDepth.Set(int64(len(chans[sh])))
 				if ctx.Err() != nil {
 					return finish(ctx.Err())
+				}
+				if tracker.aborted() {
+					return finish(nil)
 				}
 			}
 			n++

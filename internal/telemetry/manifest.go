@@ -41,6 +41,21 @@ type ShardTiming struct {
 	Seconds    float64 `json:"seconds"`
 }
 
+// ResumeInfo records what a resumed run reused from its checkpoint, so
+// the manifest answers "which parts of this output were regenerated?"
+// without consulting logs.
+type ResumeInfo struct {
+	// Checkpoint is the path of the checkpoint file or directory the run
+	// resumed from.
+	Checkpoint string `json:"checkpoint"`
+	// ResumedShards counts generation shards reused from checkpointed
+	// parts rather than regenerated.
+	ResumedShards int `json:"resumed_shards,omitempty"`
+	// ResumedExperiments counts experiments whose results were loaded
+	// from a results checkpoint rather than recomputed.
+	ResumedExperiments int `json:"resumed_experiments,omitempty"`
+}
+
 // Manifest is the machine-readable provenance record of one run: the
 // reproducibility key (seed, spec), the execution environment, per-
 // experiment and per-shard timings, the stream hash when a serialized
@@ -69,6 +84,11 @@ type Manifest struct {
 
 	Experiments []ExperimentTiming `json:"experiments"`
 	Shards      []ShardTiming      `json:"shards"`
+
+	// Resume records checkpoint provenance when the run resumed earlier
+	// work instead of starting fresh. Optional — its addition keeps
+	// schema 1 (absent means an uninterrupted run).
+	Resume *ResumeInfo `json:"resume,omitempty"`
 
 	// Telemetry is the process-wide metric snapshot at write time.
 	Telemetry Snap `json:"telemetry"`
